@@ -1,0 +1,330 @@
+// Package attack implements the Byzantine worker behaviours used in the
+// paper's analysis and experiments. The threat model is the paper's
+// Section 2: Byzantine workers have full knowledge of the system — the
+// aggregation rule, the parameter vector, and the proposals of every
+// correct worker in the current round — and may collude.
+//
+// Each Strategy receives that omniscient view through a Context and
+// returns exactly f proposals. Strategies must not mutate the Context's
+// slices.
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"krum/internal/vec"
+)
+
+// ErrConfig is returned for invalid attack configurations.
+var ErrConfig = errors.New("attack: bad configuration")
+
+// Context is the omniscient view handed to a Strategy each round.
+type Context struct {
+	// Round is the current synchronous round t.
+	Round int
+	// Params is the parameter vector x_t the server broadcast.
+	Params []float64
+	// Correct holds the proposals of the n − f correct workers
+	// (read-only).
+	Correct [][]float64
+	// F is the number of Byzantine proposals to produce.
+	F int
+	// RNG is the adversary's private randomness.
+	RNG *vec.RNG
+}
+
+// dim returns the proposal dimension.
+func (c *Context) dim() int {
+	if len(c.Correct) > 0 {
+		return len(c.Correct[0])
+	}
+	return len(c.Params)
+}
+
+// correctMean computes the mean of the correct proposals — the
+// adversary's best estimate of the true gradient.
+func (c *Context) correctMean() []float64 {
+	m := make([]float64, c.dim())
+	if len(c.Correct) == 0 {
+		return m
+	}
+	vec.Mean(m, c.Correct)
+	return m
+}
+
+// Strategy produces the Byzantine proposals for one round.
+type Strategy interface {
+	// Name identifies the attack in experiment tables.
+	Name() string
+	// Propose returns exactly ctx.F freshly allocated vectors.
+	Propose(ctx *Context) [][]float64
+}
+
+// None is the absence of attack: Byzantine slots behave exactly like
+// correct workers by replaying (copies of) correct proposals. Baseline
+// rows of every experiment use it.
+type None struct{}
+
+var _ Strategy = None{}
+
+// Name implements Strategy.
+func (None) Name() string { return "none" }
+
+// Propose implements Strategy.
+func (None) Propose(ctx *Context) [][]float64 {
+	out := make([][]float64, ctx.F)
+	for i := range out {
+		if len(ctx.Correct) > 0 {
+			out[i] = vec.Clone(ctx.Correct[i%len(ctx.Correct)])
+		} else {
+			out[i] = make([]float64, ctx.dim())
+		}
+	}
+	return out
+}
+
+// Gaussian is the "Gaussian attack" of the full paper's Figure 4: each
+// Byzantine worker proposes a random vector drawn from a
+// high-variance isotropic Gaussian (the paper uses σ = 200), i.e. pure
+// garbage that averaging happily folds in.
+type Gaussian struct {
+	// Sigma is the per-coordinate standard deviation (paper: 200).
+	Sigma float64
+}
+
+var _ Strategy = Gaussian{}
+
+// Name implements Strategy.
+func (g Gaussian) Name() string { return fmt.Sprintf("gaussian(σ=%g)", g.Sigma) }
+
+// Propose implements Strategy.
+func (g Gaussian) Propose(ctx *Context) [][]float64 {
+	out := make([][]float64, ctx.F)
+	for i := range out {
+		out[i] = ctx.RNG.NewNormal(ctx.dim(), 0, g.Sigma)
+	}
+	return out
+}
+
+// Omniscient is the full paper's Figure 5 attack: the adversary
+// estimates the true gradient from the correct proposals and proposes
+// its negation scaled to a large magnitude, actively driving the
+// parameter vector uphill. All f colluders propose the same vector.
+type Omniscient struct {
+	// Scale multiplies the negated gradient estimate; the paper uses
+	// "an arbitrarily large factor". Defaults to 20 when 0.
+	Scale float64
+}
+
+var _ Strategy = Omniscient{}
+
+// Name implements Strategy.
+func (o Omniscient) Name() string { return fmt.Sprintf("omniscient(×%g)", o.effScale()) }
+
+func (o Omniscient) effScale() float64 {
+	if o.Scale == 0 {
+		return 20
+	}
+	return o.Scale
+}
+
+// Propose implements Strategy.
+func (o Omniscient) Propose(ctx *Context) [][]float64 {
+	m := ctx.correctMean()
+	vec.Scale(-o.effScale(), m)
+	out := make([][]float64, ctx.F)
+	for i := range out {
+		out[i] = vec.Clone(m)
+	}
+	return out
+}
+
+// SignFlip proposes the exact negation of the gradient estimate without
+// magnification — a stealthier variant of Omniscient that large-norm
+// filters cannot catch.
+type SignFlip struct{}
+
+var _ Strategy = SignFlip{}
+
+// Name implements Strategy.
+func (SignFlip) Name() string { return "signflip" }
+
+// Propose implements Strategy.
+func (SignFlip) Propose(ctx *Context) [][]float64 {
+	m := ctx.correctMean()
+	vec.Scale(-1, m)
+	out := make([][]float64, ctx.F)
+	for i := range out {
+		out[i] = vec.Clone(m)
+	}
+	return out
+}
+
+// LinearTakeover is the constructive proof of Lemma 3.1: against a
+// KNOWN linear rule F = Σ λ_i·V_i, the single Byzantine worker occupying
+// the last slot solves for the proposal that forces the aggregate to be
+// exactly Target. Any remaining Byzantine workers (F > 1) blend in by
+// replaying correct proposals. Construct with NewLinearTakeover.
+type LinearTakeover struct {
+	// Target is the vector U the attacker forces the rule to output.
+	Target []float64
+	// Weights are the λ_i of the linear rule under attack (length n);
+	// the attacker is assumed to know them (full-knowledge model). The
+	// LAST weight belongs to the attacking worker.
+	Weights []float64
+}
+
+// NewLinearTakeover validates and builds the Lemma 3.1 attack.
+func NewLinearTakeover(target, weights []float64) (*LinearTakeover, error) {
+	if len(target) == 0 {
+		return nil, fmt.Errorf("empty target: %w", ErrConfig)
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("empty weights: %w", ErrConfig)
+	}
+	if weights[len(weights)-1] == 0 {
+		return nil, fmt.Errorf("attacker weight is zero — Lemma 3.1 needs non-zero coefficients: %w", ErrConfig)
+	}
+	return &LinearTakeover{Target: vec.Clone(target), Weights: vec.Clone(weights)}, nil
+}
+
+var _ Strategy = (*LinearTakeover)(nil)
+
+// Name implements Strategy.
+func (*LinearTakeover) Name() string { return "lineartakeover" }
+
+// Propose implements Strategy.
+func (a *LinearTakeover) Propose(ctx *Context) [][]float64 {
+	out := make([][]float64, ctx.F)
+	// Benign camouflage for all but the last Byzantine slot.
+	for i := 0; i < ctx.F-1; i++ {
+		if len(ctx.Correct) > 0 {
+			out[i] = vec.Clone(ctx.Correct[i%len(ctx.Correct)])
+		} else {
+			out[i] = make([]float64, ctx.dim())
+		}
+	}
+	// The proposals will occupy slots n−f .. n−1 in order; slot n−1
+	// carries the takeover vector:
+	// V_b = (U − Σ_{i<n−1} λ_i·V_i) / λ_{n−1}.
+	forced := vec.Clone(a.Target)
+	idx := 0
+	for _, v := range ctx.Correct {
+		vec.Axpy(-a.Weights[idx], v, forced)
+		idx++
+	}
+	for i := 0; i < ctx.F-1; i++ {
+		vec.Axpy(-a.Weights[idx], out[i], forced)
+		idx++
+	}
+	vec.Scale(1/a.Weights[idx], forced)
+	out[ctx.F-1] = forced
+	return out
+}
+
+// MedoidCollusion is the Figure 2 attack on the distance-based rule:
+// f − 1 colluders propose vectors in an arbitrarily remote area B,
+// dragging the barycenter of all proposals away from the correct area
+// C; the last colluder proposes that shifted barycenter b, which then
+// minimizes the sum of squared distances and gets selected. Krum
+// precludes it because remote decoys never enter anyone's n − f − 2
+// neighbourhood sums.
+type MedoidCollusion struct {
+	// Offset is how far (per coordinate) area B lies from the correct
+	// area; the lemma allows it to be arbitrary. Defaults to 1e4
+	// when 0.
+	Offset float64
+}
+
+var _ Strategy = MedoidCollusion{}
+
+// Name implements Strategy.
+func (m MedoidCollusion) Name() string { return "medoidcollusion" }
+
+func (m MedoidCollusion) effOffset() float64 {
+	if m.Offset == 0 {
+		return 1e4
+	}
+	return m.Offset
+}
+
+// Propose implements Strategy.
+func (m MedoidCollusion) Propose(ctx *Context) [][]float64 {
+	out := make([][]float64, ctx.F)
+	d := ctx.dim()
+	mean := ctx.correctMean()
+	for i := 0; i < ctx.F-1; i++ {
+		decoy := vec.Clone(mean)
+		for j := range decoy {
+			decoy[j] += m.effOffset()
+		}
+		out[i] = decoy
+	}
+	// The last proposal is the fixpoint barycenter of all n proposals:
+	// b = (Σ correct + Σ decoys)/(n−1) solves b = (Σ others + b)/n.
+	bary := make([]float64, d)
+	for _, v := range ctx.Correct {
+		vec.Axpy(1, v, bary)
+	}
+	for i := 0; i < ctx.F-1; i++ {
+		vec.Axpy(1, out[i], bary)
+	}
+	n := len(ctx.Correct) + ctx.F
+	vec.Scale(1/float64(n-1), bary)
+	out[ctx.F-1] = bary
+	return out
+}
+
+// Mimic replays the first correct worker's proposal from every
+// Byzantine slot. It is indistinguishable from honesty in value space —
+// the control attack for selection-histogram experiments (a selection
+// of a mimicking Byzantine worker is harmless, which the derived table
+// T1 makes visible).
+type Mimic struct{}
+
+var _ Strategy = Mimic{}
+
+// Name implements Strategy.
+func (Mimic) Name() string { return "mimic" }
+
+// Propose implements Strategy.
+func (Mimic) Propose(ctx *Context) [][]float64 {
+	out := make([][]float64, ctx.F)
+	for i := range out {
+		if len(ctx.Correct) > 0 {
+			out[i] = vec.Clone(ctx.Correct[0])
+		} else {
+			out[i] = make([]float64, ctx.dim())
+		}
+	}
+	return out
+}
+
+// Crash models fail-stop workers inside the Byzantine envelope: from
+// round After onward the workers "stall" and their proposals are zero
+// vectors (the parameter server of the paper's synchronous model still
+// receives a value; a stalled process is one of the motivating failure
+// modes of Section 1).
+type Crash struct {
+	// After is the first round at which the workers crash.
+	After int
+}
+
+var _ Strategy = Crash{}
+
+// Name implements Strategy.
+func (c Crash) Name() string { return fmt.Sprintf("crash(after=%d)", c.After) }
+
+// Propose implements Strategy.
+func (c Crash) Propose(ctx *Context) [][]float64 {
+	out := make([][]float64, ctx.F)
+	for i := range out {
+		if ctx.Round < c.After && len(ctx.Correct) > 0 {
+			out[i] = vec.Clone(ctx.Correct[i%len(ctx.Correct)])
+		} else {
+			out[i] = make([]float64, ctx.dim())
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"krum/internal/vec"
+)
+
+func TestHiddenCoordinateShape(t *testing.T) {
+	ctx := testCtx(2, 50)
+	out := checkShape(t, HiddenCoordinate{Coordinate: 1}, ctx)
+	mean := make([]float64, len(ctx.Correct[0]))
+	vec.Mean(mean, ctx.Correct)
+	for _, v := range out {
+		// The attacked coordinate carries the spike.
+		if math.Abs(v[1]-mean[1]) < 0.01 {
+			t.Errorf("no spike on coordinate 1: %v vs %v", v[1], mean[1])
+		}
+		// The remaining coordinates stay close to the honest mean.
+		for j := range v {
+			if j == 1 {
+				continue
+			}
+			if math.Abs(v[j]-mean[j]) > 0.5 {
+				t.Errorf("coordinate %d drifted: %v vs %v", j, v[j], mean[j])
+			}
+		}
+	}
+}
+
+func TestHiddenCoordinateWrapsIndex(t *testing.T) {
+	ctx := testCtx(1, 51)
+	d := len(ctx.Correct[0])
+	// Coordinate d+2 wraps to 2; negative wraps too.
+	for _, c := range []int{d + 2, -1} {
+		out := (HiddenCoordinate{Coordinate: c}).Propose(ctx)
+		if len(out) != 1 || len(out[0]) != d {
+			t.Fatalf("shape for coordinate %d", c)
+		}
+		if !vec.AllFinite(out[0]) {
+			t.Errorf("non-finite proposal for coordinate %d", c)
+		}
+	}
+}
+
+func TestHiddenCoordinateSpikeScalesWithSpread(t *testing.T) {
+	// Tighter correct cluster ⇒ smaller spike (it must stay hidden).
+	rng := vec.NewRNG(52)
+	mkCtx := func(spread float64) *Context {
+		correct := make([][]float64, 6)
+		for i := range correct {
+			v := make([]float64, 20)
+			for j := range v {
+				v[j] = 1 + spread*rng.NormFloat64()
+			}
+			correct[i] = v
+		}
+		return &Context{Correct: correct, F: 1, RNG: vec.NewRNG(1)}
+	}
+	tight := (HiddenCoordinate{Coordinate: 3}).Propose(mkCtx(0.01))
+	loose := (HiddenCoordinate{Coordinate: 3}).Propose(mkCtx(1.0))
+	tightSpike := math.Abs(tight[0][3] - 1)
+	looseSpike := math.Abs(loose[0][3] - 1)
+	if tightSpike >= looseSpike {
+		t.Errorf("spike does not scale with spread: tight %v vs loose %v", tightSpike, looseSpike)
+	}
+}
+
+func TestHiddenCoordinateName(t *testing.T) {
+	if got := (HiddenCoordinate{Coordinate: 7}).Name(); got != "hiddencoord(j=7)" {
+		t.Errorf("name %q", got)
+	}
+	if (HiddenCoordinate{}).effMargin() != 1 {
+		t.Error("default margin")
+	}
+}
+
+func TestLittleIsEnoughStaysInsideCloud(t *testing.T) {
+	ctx := testCtx(2, 60)
+	out := checkShape(t, LittleIsEnough{Z: 1}, ctx)
+	mean := make([]float64, len(ctx.Correct[0]))
+	vec.Mean(mean, ctx.Correct)
+	// The proposal's distance from the mean is on the order of the
+	// honest spread (z=1), not orders of magnitude beyond it.
+	var maxHonest float64
+	for _, v := range ctx.Correct {
+		if d := vec.Dist(v, mean); d > maxHonest {
+			maxHonest = d
+		}
+	}
+	for _, v := range out {
+		if vec.Dist(v, mean) > 3*maxHonest {
+			t.Errorf("little-is-enough proposal not stealthy: %v vs honest max %v",
+				vec.Dist(v, mean), maxHonest)
+		}
+	}
+	// All colluders propose the same vector.
+	if !vec.ApproxEqual(out[0], out[1], 0) {
+		t.Error("colluders disagree")
+	}
+}
+
+func TestLittleIsEnoughOpposesGradientSign(t *testing.T) {
+	// Correct proposals all-positive → shift must be negative on every
+	// coordinate.
+	rng := vec.NewRNG(61)
+	correct := make([][]float64, 8)
+	for i := range correct {
+		v := make([]float64, 10)
+		for j := range v {
+			v[j] = 5 + 0.5*rng.NormFloat64()
+		}
+		correct[i] = v
+	}
+	ctx := &Context{Correct: correct, F: 1, RNG: vec.NewRNG(2)}
+	out := (LittleIsEnough{Z: 1.5}).Propose(ctx)
+	mean := make([]float64, 10)
+	vec.Mean(mean, correct)
+	for j, x := range out[0] {
+		if x >= mean[j] {
+			t.Errorf("coordinate %d shifted up (%v ≥ %v), want opposing", j, x, mean[j])
+		}
+	}
+	if (LittleIsEnough{}).effZ() != 1 {
+		t.Error("default z")
+	}
+}

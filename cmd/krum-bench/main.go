@@ -1,0 +1,162 @@
+// Command krum-bench measures aggregation-rule cost: the Lemma 4.1
+// sweep over (n, d) for Krum, plus the same grid for the baselines
+// (including the exponential minimal-diameter rule on small n, which is
+// exactly the cost argument the paper makes for Krum).
+//
+//	krum-bench -rules krum,average,medoid -n 5,10,20,40 -d 1000,10000 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"krum"
+	"krum/internal/core"
+	"krum/internal/metrics"
+	"krum/internal/vec"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	rulesFlag := flag.String("rules", "krum,multikrum,average,medoid,coordmedian,geomedian", "comma-separated rules (add 'minimaldiameter' for the exponential baseline)")
+	nFlag := flag.String("n", "5,10,20,40", "comma-separated worker counts")
+	dFlag := flag.String("d", "100,1000,10000", "comma-separated dimensions")
+	csvFlag := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	seedFlag := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	ns, err := parseInts(*nFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-n: %v\n", err)
+		return 2
+	}
+	ds, err := parseInts(*dFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-d: %v\n", err)
+		return 2
+	}
+
+	rng := vec.NewRNG(*seedFlag)
+	tbl := metrics.NewTable("rule", "n", "d", "ns/op", "ns/(n²·d)")
+	for _, n := range ns {
+		f := (n - 3) / 2
+		if f < 0 {
+			f = 0
+		}
+		for _, d := range ds {
+			vectors := make([][]float64, n)
+			for i := range vectors {
+				vectors[i] = rng.NewNormal(d, 0, 1)
+			}
+			dst := make([]float64, d)
+			for _, name := range strings.Split(*rulesFlag, ",") {
+				rule, err := ruleByName(strings.TrimSpace(name), n, f)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%v\n", err)
+					return 2
+				}
+				nanos, err := timeRule(rule, dst, vectors)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s n=%d d=%d: %v\n", name, n, d, err)
+					return 1
+				}
+				tbl.AddRowf(rule.Name(), n, d, nanos, nanos/(float64(n)*float64(n)*float64(d)))
+			}
+		}
+	}
+	if *csvFlag {
+		if err := tbl.RenderCSV(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// ruleByName maps CLI names to rules configured for (n, f).
+func ruleByName(name string, n, f int) (core.Rule, error) {
+	switch name {
+	case "krum":
+		return krum.NewKrum(f), nil
+	case "multikrum":
+		m := n - f
+		if m < 1 {
+			m = 1
+		}
+		return krum.NewMultiKrum(f, m), nil
+	case "average":
+		return krum.Average{}, nil
+	case "medoid":
+		return krum.Medoid{}, nil
+	case "coordmedian":
+		return krum.CoordMedian{}, nil
+	case "trimmedmean":
+		return krum.TrimmedMean{Trim: f}, nil
+	case "geomedian":
+		return krum.GeoMedian{}, nil
+	case "minimaldiameter":
+		return krum.NewMinimalDiameter(f), nil
+	case "clippedmean":
+		return krum.ClippedMean{}, nil
+	case "bulyan":
+		bf := (n - 3) / 4
+		if f < bf {
+			bf = f
+		}
+		return krum.NewBulyan(bf), nil
+	default:
+		return nil, fmt.Errorf("unknown rule %q", name)
+	}
+}
+
+// timeRule measures one rule's aggregation latency with calibrated
+// repetitions.
+func timeRule(rule core.Rule, dst []float64, vectors [][]float64) (float64, error) {
+	start := time.Now()
+	if err := rule.Aggregate(dst, vectors); err != nil {
+		return 0, err
+	}
+	first := time.Since(start)
+	reps := 1
+	if first < 10*time.Millisecond {
+		reps = int(10*time.Millisecond/(first+time.Nanosecond)) + 1
+		if reps > 5000 {
+			reps = 5000
+		}
+	}
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		if err := rule.Aggregate(dst, vectors); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reps), nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", p, err)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("value %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+// Command krum-experiments regenerates every table and figure of the
+// reproduction (see EXPERIMENTS.md for the index):
+//
+//	krum-experiments -exp all -scale quick
+//	krum-experiments -exp fig4 -scale full -seed 7
+//
+// Experiments: lemma31, fig2, lemma41, prop42, prop43, fig4, fig5,
+// fig6, fig7, table1, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"krum/internal/harness"
+)
+
+// experiment binds a name to its regenerator.
+type experiment struct {
+	name string
+	desc string
+	run  func(w io.Writer, scale harness.Scale, seed uint64) error
+}
+
+// wrap adapts a typed harness entry point.
+func wrap[T any](f func(io.Writer, harness.Scale, uint64) (T, error)) func(io.Writer, harness.Scale, uint64) error {
+	return func(w io.Writer, s harness.Scale, seed uint64) error {
+		_, err := f(w, s, seed)
+		return err
+	}
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{name: "lemma31", desc: "E1: one Byzantine worker controls any linear rule", run: wrap(harness.RunLemma31)},
+		{name: "fig2", desc: "E2: medoid collusion vs Krum", run: wrap(harness.RunFig2)},
+		{name: "lemma41", desc: "E3: O(n²·d) cost scaling", run: wrap(harness.RunLemma41)},
+		{name: "prop42", desc: "E4: (α,f)-Byzantine resilience Monte Carlo", run: wrap(harness.RunProp42)},
+		{name: "prop43", desc: "E5: convergence to the flat basin under attack", run: wrap(harness.RunProp43)},
+		{name: "fig4", desc: "F4: Gaussian attack accuracy curves", run: wrap(harness.RunFig4)},
+		{name: "fig5", desc: "F5: omniscient attack accuracy curves", run: wrap(harness.RunFig5)},
+		{name: "fig6", desc: "F6: Multi-Krum trade-off", run: wrap(harness.RunFig6)},
+		{name: "fig7", desc: "F7: cost of resilience (mini-batch sweep)", run: wrap(harness.RunFig7)},
+		{name: "table1", desc: "T1: Byzantine-selection rate matrix", run: wrap(harness.RunTable1)},
+		{name: "ablation", desc: "E6: hidden-coordinate attack, Krum vs Bulyan", run: wrap(harness.RunAblation)},
+		{name: "noniid", desc: "E7: label-skewed honest workers (i.i.d. assumption violated)", run: wrap(harness.RunNonIID)},
+	}
+}
+
+func main() {
+	os.Exit(run())
+}
+
+// run is the testable body of main (exit-once rule).
+func run() int {
+	expFlag := flag.String("exp", "all", "experiment to run (or 'all')")
+	scaleFlag := flag.String("scale", "quick", "quick | full")
+	seedFlag := flag.Uint64("seed", 42, "master random seed")
+	listFlag := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	exps := experiments()
+	if *listFlag {
+		for _, e := range exps {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return 0
+	}
+
+	var scale harness.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = harness.Quick
+	case "full":
+		scale = harness.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (quick|full)\n", *scaleFlag)
+		return 2
+	}
+
+	want := strings.Split(*expFlag, ",")
+	ran := 0
+	for _, e := range exps {
+		if !selected(want, e.name) {
+			continue
+		}
+		if err := e.run(os.Stdout, scale, *seedFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", e.name, err)
+			return 1
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; use -list\n", *expFlag)
+		return 2
+	}
+	return 0
+}
+
+func selected(want []string, name string) bool {
+	for _, w := range want {
+		if w == "all" || strings.TrimSpace(w) == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+// Command krum-ps runs the parameter server over real TCP: it waits for
+// the declared number of workers (launch them with krum-worker) and
+// trains the selected workload with the selected aggregation rule.
+// Byzantine behaviour lives in the workers (-behaviour on krum-worker),
+// matching a real deployment where the server cannot tell who is lying.
+//
+//	krum-ps -addr 127.0.0.1:7070 -workers 5 -f 1 -rule krum -rounds 200
+//
+// The -f flag declares how many Byzantine workers the RULE should
+// tolerate; the actual number of misbehaving workers is whatever you
+// launched.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"krum"
+	"krum/distsgd"
+	"krum/internal/core"
+	"krum/internal/harness"
+	"krum/internal/transport"
+	"krum/model"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	workers := flag.Int("workers", 5, "number of workers to wait for")
+	fTol := flag.Int("f", 1, "Byzantine workers the rule tolerates")
+	ruleName := flag.String("rule", "krum", "krum | multikrum | average | medoid | coordmedian | trimmedmean | geomedian")
+	workload := flag.String("workload", "mnist", fmt.Sprintf("one of %v", harness.WorkloadNames()))
+	rounds := flag.Int("rounds", 200, "synchronous rounds")
+	gamma := flag.Float64("gamma", 0.5, "initial learning rate")
+	evalEvery := flag.Int("eval-every", 20, "evaluate every k rounds (0 = off)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	waitFor := flag.Duration("accept-timeout", 2*time.Minute, "how long to wait for workers")
+	savePath := flag.String("save", "", "write the final model checkpoint to this file")
+	loadPath := flag.String("load", "", "resume from a model checkpoint file")
+	flag.Parse()
+
+	wl, err := harness.BuildWorkload(*workload, harness.Quick, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "workload: %v\n", err)
+		return 2
+	}
+	rule, err := ruleByName(*ruleName, *workers, *fTol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
+	}
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load: %v\n", err)
+			return 1
+		}
+		err = model.LoadParams(f, wl.Model)
+		_ = f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load: %v\n", err)
+			return 1
+		}
+		fmt.Printf("resumed from %s\n", *loadPath)
+	}
+
+	pool, err := transport.Listen(*addr, wl.Model.Dim())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "listen: %v\n", err)
+		return 1
+	}
+	defer func() { _ = pool.Close() }()
+
+	fmt.Printf("parameter server on %s — %s\n", pool.Addr(), wl.Description)
+	fmt.Printf("rule %s, waiting for %d workers...\n", rule.Name(), *workers)
+	if err := pool.AcceptWorkers(*workers, *waitFor); err != nil {
+		fmt.Fprintf(os.Stderr, "accept: %v\n", err)
+		return 1
+	}
+	fmt.Printf("%d workers joined; training %d rounds\n", *workers, *rounds)
+
+	cfg := distsgd.Config{
+		Model:     wl.Model,
+		Dataset:   wl.Dataset,
+		Rule:      rule,
+		N:         *workers,
+		F:         0, // all proposals come over the wire; see command doc
+		Schedule:  krum.ScheduleInverseTStretched(*gamma, 0.75, float64(*rounds)/3),
+		Rounds:    *rounds,
+		Seed:      *seed,
+		EvalEvery: *evalEvery,
+		Source:    pool,
+		OnRound: func(s distsgd.RoundStats) {
+			if s.Evaluated {
+				fmt.Printf("round %4d  train-loss %.4f  test-acc %.4f  γ %.4g\n",
+					s.Round, s.TrainLoss, s.TestAccuracy, s.LearningRate)
+			}
+		},
+	}
+	res, err := distsgd.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "training: %v\n", err)
+		return 1
+	}
+	if res.Diverged {
+		fmt.Printf("DIVERGED at round %d (the rule did not contain the attack)\n", res.DivergedRound)
+		return 0
+	}
+	fmt.Printf("done: final test accuracy %.4f\n", res.FinalTestAccuracy)
+	if *savePath != "" {
+		if err := wl.Model.SetParams(res.FinalParams); err != nil {
+			fmt.Fprintf(os.Stderr, "save: %v\n", err)
+			return 1
+		}
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "save: %v\n", err)
+			return 1
+		}
+		err = model.SaveParams(f, wl.Model)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "save: %v\n", err)
+			return 1
+		}
+		fmt.Printf("checkpoint written to %s\n", *savePath)
+	}
+	return 0
+}
+
+func ruleByName(name string, n, f int) (core.Rule, error) {
+	switch name {
+	case "krum":
+		return krum.NewKrum(f), nil
+	case "multikrum":
+		m := n - f
+		if m < 1 {
+			m = 1
+		}
+		return krum.NewMultiKrum(f, m), nil
+	case "average":
+		return krum.Average{}, nil
+	case "medoid":
+		return krum.Medoid{}, nil
+	case "coordmedian":
+		return krum.CoordMedian{}, nil
+	case "trimmedmean":
+		return krum.TrimmedMean{Trim: f}, nil
+	case "geomedian":
+		return krum.GeoMedian{}, nil
+	case "clippedmean":
+		return krum.ClippedMean{}, nil
+	case "bulyan":
+		return krum.NewBulyan(f), nil
+	default:
+		return nil, fmt.Errorf("unknown rule %q", name)
+	}
+}

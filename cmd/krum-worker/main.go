@@ -1,0 +1,68 @@
+// Command krum-worker joins a krum-ps parameter server as one worker,
+// honest or Byzantine:
+//
+//	krum-worker -addr 127.0.0.1:7070 -seed 1                       # honest
+//	krum-worker -addr 127.0.0.1:7070 -seed 2 -behaviour gaussian   # attacker
+//
+// The -workload flag must match the server's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"krum/internal/harness"
+	"krum/internal/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:7070", "parameter server address")
+	workload := flag.String("workload", "mnist", fmt.Sprintf("one of %v (must match the server)", harness.WorkloadNames()))
+	batch := flag.Int("batch", 16, "mini-batch size")
+	behaviourName := flag.String("behaviour", "correct", "correct | gaussian | signflip | labelflip")
+	seed := flag.Uint64("seed", 1, "private sampling seed (give each worker its own)")
+	workloadSeed := flag.Uint64("workload-seed", 42, "workload construction seed (must match the server's -seed)")
+	flag.Parse()
+
+	var behaviour transport.WorkerBehaviour
+	switch *behaviourName {
+	case "correct":
+		behaviour = transport.BehaviourCorrect
+	case "gaussian":
+		behaviour = transport.BehaviourGaussian
+	case "signflip":
+		behaviour = transport.BehaviourSignFlip
+	case "labelflip":
+		behaviour = transport.BehaviourLabelFlip
+	default:
+		fmt.Fprintf(os.Stderr, "unknown behaviour %q\n", *behaviourName)
+		return 2
+	}
+
+	wl, err := harness.BuildWorkload(*workload, harness.Quick, *workloadSeed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "workload: %v\n", err)
+		return 2
+	}
+
+	fmt.Printf("worker joining %s as %s (%s)\n", *addr, behaviour, wl.Description)
+	rounds, err := transport.RunWorker(transport.WorkerConfig{
+		Addr:      *addr,
+		Model:     wl.Model,
+		Dataset:   wl.Dataset,
+		Batch:     *batch,
+		Behaviour: behaviour,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worker: %v (served %d rounds)\n", err, rounds)
+		return 1
+	}
+	fmt.Printf("shutdown after %d rounds\n", rounds)
+	return 0
+}

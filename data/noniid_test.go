@@ -1,0 +1,106 @@
+package data
+
+import (
+	"errors"
+	"testing"
+
+	"krum/internal/vec"
+)
+
+func TestClassFilterValidation(t *testing.T) {
+	g, err := NewGaussianMixture(4, 3, 2, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClassFilter(nil, []int{0}); !errors.Is(err, ErrConfig) {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewClassFilter(g, nil); !errors.Is(err, ErrConfig) {
+		t.Error("empty class list accepted")
+	}
+	if _, err := NewClassFilter(g, []int{4}); !errors.Is(err, ErrConfig) {
+		t.Error("out-of-range class accepted")
+	}
+	s, err := NewSyntheticSpambase(0.4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClassFilter(s, []int{0}); !errors.Is(err, ErrConfig) {
+		t.Error("binary (non one-hot) base accepted")
+	}
+}
+
+func TestClassFilterOnlyEmitsKeptClasses(t *testing.T) {
+	g, err := NewGaussianMixture(5, 3, 2, 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := NewClassFilter(g, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Dim() != g.Dim() || cf.OutDim() != g.OutDim() {
+		t.Error("filter changed shape")
+	}
+	rng := vec.NewRNG(3)
+	x := make([]float64, cf.Dim())
+	y := make([]float64, cf.OutDim())
+	seen := map[int]int{}
+	for i := 0; i < 500; i++ {
+		cf.Sample(rng, x, y)
+		cls := vec.Argmax(y)
+		if cls != 1 && cls != 3 {
+			t.Fatalf("emitted class %d", cls)
+		}
+		seen[cls]++
+	}
+	if seen[1] < 100 || seen[3] < 100 {
+		t.Errorf("class balance off: %v", seen)
+	}
+	// Classes() is a copy.
+	cs := cf.Classes()
+	cs[0] = 99
+	if cf.Classes()[0] != 1 {
+		t.Error("Classes() exposes internal state")
+	}
+}
+
+func TestPartitionClasses(t *testing.T) {
+	g, err := NewGaussianMixture(10, 4, 2, 0.3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PartitionClasses(g, 0); !errors.Is(err, ErrConfig) {
+		t.Error("zero workers accepted")
+	}
+	parts, err := PartitionClasses(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 4 {
+		t.Fatalf("%d partitions", len(parts))
+	}
+	// Round-robin: worker 0 gets {0,4,8}, worker 1 {1,5,9}, ...
+	covered := map[int]bool{}
+	for w, p := range parts {
+		for _, c := range p.Classes() {
+			if c%4 != w {
+				t.Errorf("worker %d got class %d", w, c)
+			}
+			covered[c] = true
+		}
+	}
+	if len(covered) != 10 {
+		t.Errorf("only %d classes covered", len(covered))
+	}
+	// More workers than classes: everyone still has at least one class.
+	many, err := PartitionClasses(g, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, p := range many {
+		if len(p.Classes()) == 0 {
+			t.Errorf("worker %d has no classes", w)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package distsgd implements the paper's distributed learning protocol
+// (Section 2): a reliable parameter server executing synchronous rounds
+// against n workers, f of which are Byzantine. Each round the server
+// broadcasts the parameter vector, collects the n proposed update
+// vectors (correct workers return mini-batch gradient estimates;
+// Byzantine proposals come from an attack.Strategy with the paper's
+// full-knowledge threat model), applies the configured choice function
+// F, and performs the SGD step x_{t+1} = x_t − γ_t·F(V_1, ..., V_n).
+//
+// The engine is substrate-agnostic: correct gradients come from a
+// GradientSource, which is an in-process concurrent worker pool by
+// default (package sim) and a real TCP cluster when driven through
+// package transport's ServerPool.
+package distsgd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"krum/attack"
+	"krum/data"
+	"krum/internal/core"
+	"krum/internal/sgd"
+	"krum/internal/sim"
+	"krum/internal/vec"
+	"krum/model"
+)
+
+// ErrConfig is returned for invalid training configurations.
+var ErrConfig = errors.New("distsgd: bad configuration")
+
+// GradientSource produces the correct workers' proposals for one round.
+// It is satisfied by *sim.Pool and by transport.ServerPool.
+type GradientSource interface {
+	// Gradients broadcasts params and returns one gradient estimate per
+	// correct worker plus the mean training loss. Returned slices are
+	// only valid until the next call.
+	Gradients(params []float64) ([][]float64, float64, error)
+	// N returns the number of correct workers.
+	N() int
+	// Dim returns the parameter dimension.
+	Dim() int
+}
+
+// RoundStats records one synchronous round.
+type RoundStats struct {
+	// Round is the round index t (0-based).
+	Round int
+	// TrainLoss is the mean mini-batch loss reported by correct
+	// workers at x_t.
+	TrainLoss float64
+	// UpdateNorm is ‖F(V_1..V_n)‖ — the aggregated step direction
+	// magnitude.
+	UpdateNorm float64
+	// LearningRate is γ_t.
+	LearningRate float64
+	// ByzantineChosen reports whether a selection-based rule picked a
+	// Byzantine proposal this round (only meaningful when the engine
+	// tracks selection; see Config.TrackSelection).
+	ByzantineChosen bool
+	// Evaluated reports whether the test metrics below are valid.
+	Evaluated bool
+	// TestAccuracy and TestLoss are held-out metrics at x_{t+1}.
+	TestAccuracy float64
+	// TestLoss is the held-out loss at x_{t+1}.
+	TestLoss float64
+}
+
+// Result is the outcome of a training run.
+type Result struct {
+	// History holds one entry per executed round.
+	History []RoundStats
+	// FinalParams is x_T.
+	FinalParams []float64
+	// Diverged reports that parameters left the finite range and the
+	// run stopped early (the expected outcome for linear rules under
+	// attack — Lemma 3.1 made operational).
+	Diverged bool
+	// DivergedRound is the round at which divergence was detected
+	// (valid only when Diverged).
+	DivergedRound int
+	// ByzantineSelectedRounds counts rounds in which a selection rule
+	// chose a Byzantine proposal.
+	ByzantineSelectedRounds int
+	// SelectionTrackedRounds counts rounds where selection was
+	// observed (denominator for the rate).
+	SelectionTrackedRounds int
+	// FinalTestAccuracy and FinalTestLoss hold the last evaluation (0
+	// if the run never evaluated).
+	FinalTestAccuracy float64
+	// FinalTestLoss is the held-out loss at the last evaluation.
+	FinalTestLoss float64
+}
+
+// Config parameterizes Run.
+type Config struct {
+	// Model is the architecture trained; the engine owns a clone, the
+	// caller's instance is not mutated.
+	Model model.Model
+	// Dataset is the sample distribution used by correct workers and
+	// for held-out evaluation.
+	Dataset data.Dataset
+	// Rule is the parameter server's choice function (krum.Krum,
+	// krum.Average, ...).
+	Rule core.Rule
+	// N is the total number of workers; F of them are Byzantine
+	// (0 ≤ F < N).
+	N, F int
+	// BatchSize is each correct worker's mini-batch size.
+	BatchSize int
+	// Schedule is the learning-rate schedule γ_t.
+	Schedule sgd.Schedule
+	// Rounds is the number of synchronous rounds T.
+	Rounds int
+	// Attack generates Byzantine proposals; nil defaults to
+	// attack.None{} (Byzantine slots behave correctly).
+	Attack attack.Strategy
+	// Seed drives every random choice in the run.
+	Seed uint64
+	// EvalEvery evaluates held-out metrics every that many rounds
+	// (and always on the last round); 0 disables evaluation.
+	EvalEvery int
+	// EvalBatch is the held-out evaluation sample size; 0 means 512.
+	EvalBatch int
+	// TrackSelection additionally queries selection-based rules for
+	// the chosen indices each round to build Byzantine-selection
+	// histograms. It roughly doubles the aggregation cost.
+	TrackSelection bool
+	// Source overrides the default in-process pool of N−F workers —
+	// used to train over the TCP substrate. When set, Source.N() must
+	// equal N−F.
+	Source GradientSource
+	// OnRound, when non-nil, observes every RoundStats as it is
+	// produced (streaming output in the experiment binaries).
+	OnRound func(RoundStats)
+}
+
+func (c *Config) validate() error {
+	if c.Model == nil {
+		return fmt.Errorf("nil model: %w", ErrConfig)
+	}
+	if c.Dataset == nil {
+		return fmt.Errorf("nil dataset: %w", ErrConfig)
+	}
+	if c.Rule == nil {
+		return fmt.Errorf("nil rule: %w", ErrConfig)
+	}
+	if c.Schedule == nil {
+		return fmt.Errorf("nil schedule: %w", ErrConfig)
+	}
+	if c.N < 1 || c.F < 0 || c.F >= c.N {
+		return fmt.Errorf("n = %d, f = %d (need 0 ≤ f < n): %w", c.N, c.F, ErrConfig)
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("rounds = %d: %w", c.Rounds, ErrConfig)
+	}
+	if c.Source == nil && c.BatchSize < 1 {
+		return fmt.Errorf("batch size = %d: %w", c.BatchSize, ErrConfig)
+	}
+	if c.Source != nil && c.Source.N() != c.N-c.F {
+		return fmt.Errorf("source has %d workers, want n−f = %d: %w", c.Source.N(), c.N-c.F, ErrConfig)
+	}
+	return nil
+}
+
+// Run executes the synchronous training protocol and returns the full
+// round history.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	atk := cfg.Attack
+	if atk == nil {
+		atk = attack.None{}
+	}
+	rootRNG := vec.NewRNG(cfg.Seed)
+
+	serverModel := cfg.Model.Clone()
+	dim := serverModel.Dim()
+	params := serverModel.Params(nil)
+
+	source := cfg.Source
+	if source == nil {
+		pool, err := sim.NewPool(serverModel, cfg.Dataset, cfg.N-cfg.F, cfg.BatchSize, rootRNG.Uint64())
+		if err != nil {
+			return nil, fmt.Errorf("building worker pool: %w", err)
+		}
+		source = pool
+	}
+	if source.Dim() != dim {
+		return nil, fmt.Errorf("source dim %d, model dim %d: %w", source.Dim(), dim, ErrConfig)
+	}
+
+	opt, err := sgd.NewOptimizer(cfg.Schedule, dim, 0)
+	if err != nil {
+		return nil, fmt.Errorf("building optimizer: %w", err)
+	}
+
+	evalBatch := cfg.EvalBatch
+	if evalBatch <= 0 {
+		evalBatch = 512
+	}
+	var evalX, evalY *vec.Dense
+	if cfg.EvalEvery > 0 {
+		evalX, evalY, err = data.NewBatch(cfg.Dataset, rootRNG.Split(), evalBatch)
+		if err != nil {
+			return nil, fmt.Errorf("building eval batch: %w", err)
+		}
+	}
+
+	attackRNG := rootRNG.Split()
+	proposals := make([][]float64, cfg.N)
+	update := make([]float64, dim)
+	res := &Result{History: make([]RoundStats, 0, cfg.Rounds)}
+
+	for t := 0; t < cfg.Rounds; t++ {
+		correct, trainLoss, err := source.Gradients(params)
+		if err != nil {
+			return nil, fmt.Errorf("round %d gradients: %w", t, err)
+		}
+		copy(proposals, correct)
+		if cfg.F > 0 {
+			ctx := &attack.Context{
+				Round:   t,
+				Params:  params,
+				Correct: correct,
+				F:       cfg.F,
+				RNG:     attackRNG,
+			}
+			byz := atk.Propose(ctx)
+			if len(byz) != cfg.F {
+				return nil, fmt.Errorf("round %d: attack returned %d proposals, want %d: %w", t, len(byz), cfg.F, ErrConfig)
+			}
+			copy(proposals[cfg.N-cfg.F:], byz)
+		}
+
+		stats := RoundStats{Round: t, TrainLoss: trainLoss, LearningRate: opt.CurrentRate()}
+
+		if cfg.TrackSelection {
+			if sel, ok := cfg.Rule.(core.Selector); ok {
+				indices, err := sel.Select(proposals)
+				if err != nil {
+					return nil, fmt.Errorf("round %d selection: %w", t, err)
+				}
+				res.SelectionTrackedRounds++
+				for _, idx := range indices {
+					if idx >= cfg.N-cfg.F {
+						stats.ByzantineChosen = true
+						res.ByzantineSelectedRounds++
+						break
+					}
+				}
+			}
+		}
+
+		if err := cfg.Rule.Aggregate(update, proposals); err != nil {
+			return nil, fmt.Errorf("round %d aggregation: %w", t, err)
+		}
+		stats.UpdateNorm = vec.Norm(update)
+		if err := opt.Step(params, update); err != nil {
+			return nil, fmt.Errorf("round %d step: %w", t, err)
+		}
+
+		if !vec.AllFinite(params) {
+			res.Diverged = true
+			res.DivergedRound = t
+			res.History = append(res.History, stats)
+			if cfg.OnRound != nil {
+				cfg.OnRound(stats)
+			}
+			break
+		}
+
+		if cfg.EvalEvery > 0 && (t%cfg.EvalEvery == cfg.EvalEvery-1 || t == cfg.Rounds-1) {
+			if err := serverModel.SetParams(params); err != nil {
+				return nil, fmt.Errorf("round %d eval: %w", t, err)
+			}
+			acc, err := model.EvalAccuracy(serverModel, evalX, evalY)
+			if err != nil {
+				return nil, fmt.Errorf("round %d eval accuracy: %w", t, err)
+			}
+			loss, err := serverModel.Loss(evalX, evalY)
+			if err != nil {
+				return nil, fmt.Errorf("round %d eval loss: %w", t, err)
+			}
+			stats.Evaluated = true
+			stats.TestAccuracy = acc
+			stats.TestLoss = loss
+			res.FinalTestAccuracy = acc
+			res.FinalTestLoss = loss
+		}
+
+		res.History = append(res.History, stats)
+		if cfg.OnRound != nil {
+			cfg.OnRound(stats)
+		}
+	}
+
+	res.FinalParams = params
+	return res, nil
+}
+
+// ByzantineSelectionRate returns the fraction of tracked rounds in
+// which a Byzantine proposal was selected, or NaN when selection was
+// never tracked.
+func (r *Result) ByzantineSelectionRate() float64 {
+	if r.SelectionTrackedRounds == 0 {
+		return math.NaN()
+	}
+	return float64(r.ByzantineSelectedRounds) / float64(r.SelectionTrackedRounds)
+}
+
+// AccuracySeries extracts the (round, accuracy) points of every
+// evaluated round — the series the figure benches print.
+func (r *Result) AccuracySeries() (rounds []int, accs []float64) {
+	for _, s := range r.History {
+		if s.Evaluated {
+			rounds = append(rounds, s.Round)
+			accs = append(accs, s.TestAccuracy)
+		}
+	}
+	return rounds, accs
+}

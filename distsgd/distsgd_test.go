@@ -1,0 +1,287 @@
+package distsgd
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"krum"
+	"krum/attack"
+	"krum/data"
+	"krum/internal/vec"
+	"krum/model"
+)
+
+// quickConfig returns a small but meaningful training setup: softmax
+// classifier on a well separated 3-class mixture.
+func quickConfig(t *testing.T) Config {
+	t.Helper()
+	ds, err := data.NewGaussianMixture(3, 6, 4, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewSoftmaxClassifier(6, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Model:     m,
+		Dataset:   ds,
+		Rule:      krum.NewKrum(2),
+		N:         11,
+		F:         2,
+		BatchSize: 16,
+		Schedule:  krum.ScheduleInverseTStretched(0.5, 0.75, 50),
+		Rounds:    60,
+		Seed:      7,
+		EvalEvery: 20,
+		EvalBatch: 400,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	base := quickConfig(t)
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "nil model", mutate: func(c *Config) { c.Model = nil }},
+		{name: "nil dataset", mutate: func(c *Config) { c.Dataset = nil }},
+		{name: "nil rule", mutate: func(c *Config) { c.Rule = nil }},
+		{name: "nil schedule", mutate: func(c *Config) { c.Schedule = nil }},
+		{name: "f >= n", mutate: func(c *Config) { c.F = c.N }},
+		{name: "negative f", mutate: func(c *Config) { c.F = -1 }},
+		{name: "zero rounds", mutate: func(c *Config) { c.Rounds = 0 }},
+		{name: "zero batch", mutate: func(c *Config) { c.BatchSize = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := Run(cfg); !errors.Is(err, ErrConfig) {
+				t.Errorf("err = %v, want ErrConfig", err)
+			}
+		})
+	}
+}
+
+func TestRunKrumNoAttackLearns(t *testing.T) {
+	cfg := quickConfig(t)
+	cfg.F = 0
+	cfg.Rule = krum.NewKrum(0)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diverged {
+		t.Fatal("benign run diverged")
+	}
+	if len(res.History) != cfg.Rounds {
+		t.Fatalf("history has %d rounds", len(res.History))
+	}
+	if res.FinalTestAccuracy < 0.9 {
+		t.Errorf("final accuracy %v, want ≥ 0.9 on separable mixture", res.FinalTestAccuracy)
+	}
+	if len(res.FinalParams) != cfg.Model.Dim() {
+		t.Error("FinalParams dimension wrong")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cfg := quickConfig(t)
+	cfg.Rounds = 20
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.ApproxEqual(r1.FinalParams, r2.FinalParams, 0) {
+		t.Error("same seed produced different final parameters")
+	}
+	for i := range r1.History {
+		if r1.History[i].TrainLoss != r2.History[i].TrainLoss {
+			t.Fatalf("round %d train loss differs", i)
+		}
+	}
+}
+
+// The paper's headline contrast, as an integration test: under the
+// omniscient attack with f/n ≈ 27%, averaging is destroyed while Krum
+// keeps learning.
+func TestKrumSurvivesOmniscientAverageDoesNot(t *testing.T) {
+	base := quickConfig(t)
+	base.Attack = attack.Omniscient{Scale: 30}
+	base.Rounds = 120
+	base.EvalEvery = 40
+
+	krumCfg := base
+	krumCfg.Rule = krum.NewKrum(2)
+	krumRes, err := Run(krumCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if krumRes.Diverged {
+		t.Fatal("krum diverged under omniscient attack")
+	}
+	if krumRes.FinalTestAccuracy < 0.85 {
+		t.Errorf("krum accuracy %v under attack, want ≥ 0.85", krumRes.FinalTestAccuracy)
+	}
+
+	avgCfg := base
+	avgCfg.Rule = krum.Average{}
+	avgRes, err := Run(avgCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Averaging must either diverge outright or end with near-chance
+	// accuracy.
+	if !avgRes.Diverged && avgRes.FinalTestAccuracy > 0.6 {
+		t.Errorf("averaging survived the omniscient attack: acc = %v, diverged = %v",
+			avgRes.FinalTestAccuracy, avgRes.Diverged)
+	}
+}
+
+func TestSelectionTracking(t *testing.T) {
+	cfg := quickConfig(t)
+	cfg.TrackSelection = true
+	cfg.Attack = attack.Gaussian{Sigma: 200}
+	cfg.Rounds = 40
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SelectionTrackedRounds != 40 {
+		t.Fatalf("tracked %d rounds", res.SelectionTrackedRounds)
+	}
+	// Krum must essentially never select a σ=200 Gaussian garbage
+	// proposal.
+	if rate := res.ByzantineSelectionRate(); rate > 0.05 {
+		t.Errorf("krum selected Byzantine proposals at rate %v", rate)
+	}
+}
+
+func TestSelectionRateNaNWhenUntracked(t *testing.T) {
+	cfg := quickConfig(t)
+	cfg.Rounds = 5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.ByzantineSelectionRate()) {
+		t.Error("untracked selection rate should be NaN")
+	}
+}
+
+func TestOnRoundHookAndAccuracySeries(t *testing.T) {
+	cfg := quickConfig(t)
+	cfg.Rounds = 30
+	cfg.EvalEvery = 10
+	var hooked int
+	cfg.OnRound = func(s RoundStats) { hooked++ }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hooked != 30 {
+		t.Errorf("OnRound fired %d times", hooked)
+	}
+	rounds, accs := res.AccuracySeries()
+	if len(rounds) != 3 || len(accs) != 3 {
+		t.Fatalf("accuracy series %v %v", rounds, accs)
+	}
+	if rounds[0] != 9 || rounds[1] != 19 || rounds[2] != 29 {
+		t.Errorf("eval rounds %v", rounds)
+	}
+}
+
+func TestRunRejectsMismatchedSource(t *testing.T) {
+	cfg := quickConfig(t)
+	cfg.Source = fakeSource{n: 3, dim: cfg.Model.Dim()}
+	if _, err := Run(cfg); !errors.Is(err, ErrConfig) {
+		t.Errorf("mismatched source accepted: %v", err)
+	}
+}
+
+func TestRunCustomSource(t *testing.T) {
+	cfg := quickConfig(t)
+	cfg.N, cfg.F = 5, 1
+	cfg.Rule = krum.NewKrum(1)
+	cfg.EvalEvery = 0
+	cfg.Rounds = 10
+	cfg.Source = fakeSource{n: 4, dim: cfg.Model.Dim()}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 10 {
+		t.Errorf("history %d", len(res.History))
+	}
+}
+
+// fakeSource returns constant unit gradients.
+type fakeSource struct {
+	n, dim int
+}
+
+func (f fakeSource) Gradients(params []float64) ([][]float64, float64, error) {
+	out := make([][]float64, f.n)
+	for i := range out {
+		g := make([]float64, f.dim)
+		vec.Fill(g, 1)
+		out[i] = g
+	}
+	return out, 1, nil
+}
+
+func (f fakeSource) N() int   { return f.n }
+func (f fakeSource) Dim() int { return f.dim }
+
+// Lemma 3.1 at training level: a single Byzantine worker forces the
+// average to a constant huge vector; the run diverges (or is driven to
+// garbage), whereas Krum with the same attack stays finite.
+func TestLemma31AtTrainingLevel(t *testing.T) {
+	cfg := quickConfig(t)
+	cfg.N, cfg.F = 11, 1
+	cfg.Rounds = 80
+	cfg.EvalEvery = 0
+	// The takeover solves against uniform averaging weights 1/n.
+	weights := make([]float64, cfg.N)
+	for i := range weights {
+		weights[i] = 1.0 / float64(cfg.N)
+	}
+	target := make([]float64, cfg.Model.Dim())
+	vec.Fill(target, 1e6)
+	takeover, err := attack.NewLinearTakeover(target, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Attack = takeover
+
+	avgCfg := cfg
+	avgCfg.Rule = krum.Average{}
+	avgRes, err := Run(avgCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !avgRes.Diverged {
+		// The forced updates of 1e6 should blow up the parameters
+		// quickly; if not diverged, the update norms must at least be
+		// the forced magnitude.
+		if avgRes.History[0].UpdateNorm < 1e5 {
+			t.Errorf("takeover did not control the average: update norm %v", avgRes.History[0].UpdateNorm)
+		}
+	}
+
+	krumCfg := cfg
+	krumCfg.Rule = krum.NewKrum(1)
+	krumRes, err := Run(krumCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if krumRes.Diverged {
+		t.Error("krum diverged under the Lemma 3.1 takeover")
+	}
+}

@@ -1,0 +1,46 @@
+package distsgd_test
+
+import (
+	"fmt"
+	"log"
+
+	"krum"
+	"krum/attack"
+	"krum/data"
+	"krum/distsgd"
+	"krum/model"
+)
+
+// Example trains a softmax classifier with 11 workers of which 2 mount
+// the omniscient attack, aggregating with Krum — the end-to-end shape
+// of every experiment in this repository.
+func Example() {
+	ds, err := data.NewGaussianMixture(3, 6, 4, 0.5, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := model.NewSoftmaxClassifier(6, 3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := distsgd.Run(distsgd.Config{
+		Model:     m,
+		Dataset:   ds,
+		Rule:      krum.NewKrum(2),
+		N:         11,
+		F:         2,
+		BatchSize: 16,
+		Schedule:  krum.ScheduleInverseTStretched(0.5, 0.75, 50),
+		Rounds:    120,
+		Attack:    attack.Omniscient{Scale: 30},
+		Seed:      7,
+		EvalEvery: 40,
+		EvalBatch: 500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("diverged: %v, accuracy above 0.9: %v\n",
+		res.Diverged, res.FinalTestAccuracy > 0.9)
+	// Output: diverged: false, accuracy above 0.9: true
+}

@@ -1,0 +1,69 @@
+// Quickstart: aggregate gradient proposals with Krum and watch it
+// ignore Byzantine garbage that destroys the average.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"krum"
+)
+
+func main() {
+	const (
+		n = 9 // workers
+		f = 2 // Byzantine among them (n > 2f+2 ✓)
+		d = 4 // parameter dimension
+	)
+
+	// Seven honest workers estimate the true gradient (1, 1, 1, 1)
+	// with small errors; two Byzantine workers propose garbage.
+	proposals := [][]float64{
+		{1.02, 0.97, 1.01, 0.99},
+		{0.95, 1.04, 1.00, 1.02},
+		{1.01, 1.00, 0.98, 0.97},
+		{0.99, 0.98, 1.03, 1.01},
+		{1.03, 1.02, 0.99, 0.98},
+		{0.97, 0.99, 1.02, 1.03},
+		{1.00, 1.01, 0.97, 1.00},
+		{250, -310, 440, -170}, // Byzantine
+		{-500, 380, -220, 640}, // Byzantine
+	}
+
+	average := make([]float64, d)
+	if err := (krum.Average{}).Aggregate(average, proposals); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("average (poisoned):  %6.2f\n", average)
+
+	rule := krum.NewKrum(f)
+	out := make([]float64, d)
+	if err := rule.Aggregate(out, proposals); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("krum   (resilient): %6.2f\n", out)
+
+	// Krum exposes its per-worker scores: the Byzantine proposals are
+	// visibly isolated.
+	scores, err := rule.Scores(proposals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nkrum scores (lower = more central):")
+	for i, s := range scores {
+		tag := ""
+		if i >= n-f {
+			tag = "  <- Byzantine"
+		}
+		fmt.Printf("  worker %d: %12.2f%s\n", i, s, tag)
+	}
+
+	// The Proposition 4.2 constant for this cluster size.
+	eta, err := krum.Eta(n, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nη(n=%d, f=%d) = %.3f — resilient while η·√d·σ < ‖g‖\n", n, f, eta)
+}

@@ -1,0 +1,104 @@
+// tcp-cluster demonstrates the real-network substrate inside one
+// process: a parameter server listens on loopback TCP, five workers
+// (one of them a Gaussian attacker) connect as real network peers, and
+// Krum trains through the wire protocol.
+//
+// The same roles run as separate processes / machines with the
+// cmd/krum-ps and cmd/krum-worker binaries.
+//
+//	go run ./examples/tcp-cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"krum"
+	"krum/data"
+	"krum/distsgd"
+	"krum/internal/transport"
+	"krum/model"
+)
+
+func main() {
+	const (
+		nWorkers = 5
+		fTol     = 1
+		rounds   = 120
+	)
+
+	ds, err := data.NewGaussianMixture(3, 8, 4, 0.5, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := model.NewSoftmaxClassifier(8, 3, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pool, err := transport.Listen("127.0.0.1:0", m.Dim())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parameter server listening on %s\n", pool.Addr())
+
+	// Launch the workers as real TCP clients (goroutines here; separate
+	// processes in production — the bytes on the wire are identical).
+	var wg sync.WaitGroup
+	for i := 0; i < nWorkers; i++ {
+		behaviour := transport.BehaviourCorrect
+		if i == nWorkers-1 {
+			behaviour = transport.BehaviourGaussian // one attacker
+		}
+		wg.Add(1)
+		go func(i int, b transport.WorkerBehaviour) {
+			defer wg.Done()
+			served, err := transport.RunWorker(transport.WorkerConfig{
+				Addr:      pool.Addr(),
+				Model:     m,
+				Dataset:   ds,
+				Batch:     16,
+				Behaviour: b,
+				Seed:      uint64(100 + i),
+			})
+			if err != nil {
+				log.Printf("worker %d: %v", i, err)
+				return
+			}
+			fmt.Printf("worker %d (%s) served %d rounds\n", i, b, served)
+		}(i, behaviour)
+	}
+
+	if err := pool.AcceptWorkers(nWorkers, 30*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d workers joined (1 Byzantine); training with krum(f=%d)\n\n", nWorkers, fTol)
+
+	res, err := distsgd.Run(distsgd.Config{
+		Model:     m,
+		Dataset:   ds,
+		Rule:      krum.NewKrum(fTol),
+		N:         nWorkers,
+		F:         0, // all proposals arrive over the wire
+		Schedule:  krum.ScheduleInverseTStretched(0.4, 0.75, 60),
+		Rounds:    rounds,
+		Seed:      9,
+		EvalEvery: 30,
+		Source:    pool,
+		OnRound: func(s distsgd.RoundStats) {
+			if s.Evaluated {
+				fmt.Printf("round %3d  test accuracy %.3f\n", s.Round, s.TestAccuracy)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pool.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+	wg.Wait()
+	fmt.Printf("\nfinal accuracy %.3f despite the Gaussian attacker on the wire\n", res.FinalTestAccuracy)
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"krum/internal/vec"
+)
+
+func TestAverage(t *testing.T) {
+	vs := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	dst := make([]float64, 2)
+	if err := (Average{}).Aggregate(dst, vs); err != nil {
+		t.Fatal(err)
+	}
+	if !vec.ApproxEqual(dst, []float64{3, 4}, 1e-15) {
+		t.Errorf("Average = %v", dst)
+	}
+	if (Average{}).Name() != "average" {
+		t.Error("name mismatch")
+	}
+	if err := (Average{}).Aggregate(dst, nil); !errors.Is(err, ErrNoVectors) {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestLinearValidation(t *testing.T) {
+	if _, err := NewLinear(nil); !errors.Is(err, ErrBadParameter) {
+		t.Error("empty weights accepted")
+	}
+	if _, err := NewLinear([]float64{1, 0, 2}); !errors.Is(err, ErrBadParameter) {
+		t.Error("zero weight accepted")
+	}
+	l, err := NewLinear([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 1)
+	if err := l.Aggregate(dst, [][]float64{{2}, {4}}); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 3 {
+		t.Errorf("linear = %v, want 3", dst[0])
+	}
+	// Wrong count of vectors.
+	if err := l.Aggregate(dst, [][]float64{{2}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("vector count mismatch: err = %v", err)
+	}
+	// Weights() must return a copy.
+	w := l.Weights()
+	w[0] = 99
+	if l.Weights()[0] != 0.5 {
+		t.Error("Weights() exposes internal state")
+	}
+}
+
+// Lemma 3.1 witness at the rule level: with the other proposals known, a
+// single Byzantine worker makes any linear rule output exactly U.
+func TestLinearSingleByzantineForcesAnyOutput(t *testing.T) {
+	rng := vec.NewRNG(10)
+	const n, d = 7, 6
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 0.1 + rng.Float64() // non-zero
+	}
+	l, err := NewLinear(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := make([][]float64, n)
+	for i := range vs {
+		vs[i] = rng.NewNormal(d, 0, 3)
+	}
+	target := rng.NewNormal(d, 5, 1) // arbitrary U
+	// Byzantine worker n-1 solves for its proposal:
+	// V_b = (U − Σ_{i≠b} λ_i V_i) / λ_b.
+	b := n - 1
+	forced := vec.Clone(target)
+	for i := 0; i < n-1; i++ {
+		vec.Axpy(-weights[i], vs[i], forced)
+	}
+	vec.Scale(1/weights[b], forced)
+	vs[b] = forced
+
+	dst := make([]float64, d)
+	if err := l.Aggregate(dst, vs); err != nil {
+		t.Fatal(err)
+	}
+	if !vec.ApproxEqual(dst, target, 1e-9) {
+		t.Errorf("single Byzantine failed to force U: got %v, want %v", dst, target)
+	}
+}
+
+func TestMedoidSelectsCentralVector(t *testing.T) {
+	vs := [][]float64{{0}, {1}, {2}, {100}}
+	sel, err := Medoid{}.Select(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sums of squared distances: v0:1+4+10000, v1:1+1+9801, v2:4+1+9604, v3 huge.
+	if sel[0] != 2 {
+		t.Errorf("medoid = %d, want 2", sel[0])
+	}
+	dst := make([]float64, 1)
+	if err := (Medoid{}).Aggregate(dst, vs); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 2 {
+		t.Errorf("aggregate = %v", dst)
+	}
+}
+
+// The Figure 2 scenario at rule level: f−1 decoys drag the barycenter so
+// the remaining Byzantine vector (placed at the shifted barycenter) wins
+// the medoid criterion, while Krum still picks a correct vector.
+func TestMedoidCollusionVsKrum(t *testing.T) {
+	rng := vec.NewRNG(11)
+	const n, f, d = 11, 2, 5
+	center := rng.NewNormal(d, 0, 1)
+	vs := make([][]float64, n)
+	for i := 0; i < n-f; i++ {
+		v := vec.Clone(center)
+		for j := range v {
+			v[j] += 0.01 * rng.NormFloat64()
+		}
+		vs[i] = v
+	}
+	// f−1 = 1 decoy very far away.
+	decoy := vec.Clone(center)
+	for j := range decoy {
+		decoy[j] += 1e4
+	}
+	vs[n-f] = decoy
+	// Last Byzantine proposes the barycenter of everything proposed so
+	// far (correct + decoy + itself-at-barycenter fixed point): solving
+	// b = (Σ others + b)/n gives b = Σ others/(n−1).
+	bary := make([]float64, d)
+	for i := 0; i < n-1; i++ {
+		vec.Axpy(1, vs[i], bary)
+	}
+	vec.Scale(1/float64(n-1), bary)
+	vs[n-1] = bary
+
+	medSel, err := Medoid{}.Select(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if medSel[0] != n-1 {
+		t.Errorf("medoid selected %d; the collusion should force the barycenter proposal %d", medSel[0], n-1)
+	}
+	krumSel, err := NewKrum(f).Select(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if krumSel[0] >= n-f {
+		t.Errorf("krum selected Byzantine vector %d", krumSel[0])
+	}
+}
+
+func TestCoordMedian(t *testing.T) {
+	tests := []struct {
+		name string
+		vs   [][]float64
+		want []float64
+	}{
+		{name: "odd", vs: [][]float64{{1, 9}, {2, 8}, {3, 7}}, want: []float64{2, 8}},
+		{name: "even", vs: [][]float64{{1, 0}, {3, 0}, {5, 2}, {7, 2}}, want: []float64{4, 1}},
+		{name: "outlier immune", vs: [][]float64{{1}, {2}, {1e9}}, want: []float64{2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			dst := make([]float64, len(tt.want))
+			if err := (CoordMedian{}).Aggregate(dst, tt.vs); err != nil {
+				t.Fatal(err)
+			}
+			if !vec.ApproxEqual(dst, tt.want, 1e-12) {
+				t.Errorf("median = %v, want %v", dst, tt.want)
+			}
+		})
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	vs := [][]float64{{0}, {1}, {2}, {3}, {1000}}
+	dst := make([]float64, 1)
+	if err := (TrimmedMean{Trim: 1}).Aggregate(dst, vs); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 2 {
+		t.Errorf("trimmed mean = %v, want 2", dst[0])
+	}
+	if err := (TrimmedMean{Trim: 3}).Aggregate(dst, vs); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("2·trim ≥ n accepted: %v", err)
+	}
+	if err := (TrimmedMean{Trim: -1}).Aggregate(dst, vs); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("negative trim accepted: %v", err)
+	}
+	// Trim=0 equals average.
+	if err := (TrimmedMean{}).Aggregate(dst, vs); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dst[0]-201.2) > 1e-9 {
+		t.Errorf("trim=0 = %v, want 201.2", dst[0])
+	}
+}
+
+func TestGeoMedianCollinear(t *testing.T) {
+	// Geometric median of {0, 1, 10} on a line is the middle point 1.
+	vs := [][]float64{{0}, {1}, {10}}
+	dst := make([]float64, 1)
+	if err := (GeoMedian{}).Aggregate(dst, vs); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dst[0]-1) > 1e-3 {
+		t.Errorf("geomedian = %v, want ≈1", dst[0])
+	}
+}
+
+func TestGeoMedianRobustToOutlier(t *testing.T) {
+	rng := vec.NewRNG(12)
+	const d = 4
+	vs := make([][]float64, 9)
+	for i := 0; i < 8; i++ {
+		vs[i] = rng.NewNormal(d, 0, 0.1)
+	}
+	out := make([]float64, d)
+	vec.Fill(out, 1e6)
+	vs[8] = out
+	dst := make([]float64, d)
+	if err := (GeoMedian{}).Aggregate(dst, vs); err != nil {
+		t.Fatal(err)
+	}
+	if vec.Norm(dst) > 1 {
+		t.Errorf("geomedian dragged to %v by one outlier", vec.Norm(dst))
+	}
+}
+
+func TestGeoMedianExactDataPoint(t *testing.T) {
+	// All identical: Weiszfeld would divide by zero without the
+	// exact-hit branch.
+	vs := [][]float64{{2, 2}, {2, 2}, {2, 2}}
+	dst := make([]float64, 2)
+	if err := (GeoMedian{}).Aggregate(dst, vs); err != nil {
+		t.Fatal(err)
+	}
+	if !vec.ApproxEqual(dst, []float64{2, 2}, 1e-9) {
+		t.Errorf("geomedian = %v, want [2 2]", dst)
+	}
+}
+
+// Property: for symmetric inputs the medoid, coordinate median, trimmed
+// mean and average all agree (they must — every robust rule is unbiased
+// without attackers on symmetric data).
+func TestRulesAgreeOnTwoSymmetricPointsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := vec.NewRNG(seed)
+		const d = 3
+		a := rng.NewNormal(d, 0, 1)
+		b := make([]float64, d)
+		for i := range b {
+			b[i] = -a[i]
+		}
+		vs := [][]float64{a, b}
+		avg := make([]float64, d)
+		med := make([]float64, d)
+		if err := (Average{}).Aggregate(avg, vs); err != nil {
+			return false
+		}
+		if err := (CoordMedian{}).Aggregate(med, vs); err != nil {
+			return false
+		}
+		return vec.ApproxEqual(avg, med, 1e-12) && vec.ApproxEqual(avg, make([]float64, d), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

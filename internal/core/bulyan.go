@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bulyan is the authors' follow-up defense (El Mhamdi, Guerraoui,
+// Rouault — "The Hidden Vulnerability of Distributed Learning in
+// Byzantium", ICML 2018), included here as the paper's natural
+// extension: Krum alone can be steered by attacks hiding in a single
+// coordinate of a high-dimensional vector; Bulyan closes that gap.
+//
+// It proceeds in two phases:
+//
+//  1. Selection: run Krum repeatedly, each time moving the winner into
+//     a selection set S and removing it from the pool, until
+//     |S| = θ = n − 2f.
+//  2. Aggregation: output the coordinate-wise β-trimmed mean of S with
+//     β = θ − 2f, i.e. for each coordinate average the β values
+//     closest to the coordinate median.
+//
+// It requires n ≥ 4f + 3. Construct with NewBulyan.
+type Bulyan struct {
+	// F is the number of Byzantine workers tolerated.
+	F int
+}
+
+// NewBulyan returns a Bulyan rule tolerating f Byzantine workers.
+func NewBulyan(f int) *Bulyan { return &Bulyan{F: f} }
+
+var (
+	_ Rule     = (*Bulyan)(nil)
+	_ Selector = (*Bulyan)(nil)
+)
+
+// Name implements Rule.
+func (b *Bulyan) Name() string { return "bulyan" }
+
+// validate checks the n ≥ 4f + 3 requirement.
+func (b *Bulyan) validate(n int) error {
+	if b.F < 0 {
+		return fmt.Errorf("f = %d: %w", b.F, ErrBadParameter)
+	}
+	if n < 4*b.F+3 {
+		return fmt.Errorf("n = %d does not satisfy n ≥ 4f+3 = %d: %w", n, 4*b.F+3, ErrTooFewWorkers)
+	}
+	return nil
+}
+
+// Select implements Selector: the θ = n − 2f indices chosen by the
+// iterated-Krum phase, in selection order.
+func (b *Bulyan) Select(vectors [][]float64) ([]int, error) {
+	n := len(vectors)
+	if n == 0 {
+		return nil, ErrNoVectors
+	}
+	if err := b.validate(n); err != nil {
+		return nil, err
+	}
+	theta := n - 2*b.F
+	// remaining maps pool positions to original indices.
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	pool := append([][]float64(nil), vectors...)
+	selected := make([]int, 0, theta)
+	for len(selected) < theta {
+		// Krum over the shrinking pool. The Krum score needs
+		// |pool| − f' − 2 ≥ 1 neighbours; near the end of the loop the
+		// pool drops to 2f + 1 elements, so the effective tolerance f'
+		// is clamped to |pool| − 3. This is sound: winners already
+		// moved to S only shrink the pool, never raise the number of
+		// Byzantine proposals left in it.
+		if len(pool) < 3 {
+			// With one or two candidates the Krum score cannot
+			// discriminate at all; take them in id order (the paper's
+			// deterministic tie-break).
+			selected = append(selected, remaining...)
+			selected = selected[:theta]
+			break
+		}
+		innerF := b.F
+		if maxF := len(pool) - 3; innerF > maxF {
+			innerF = maxF
+		}
+		inner := Krum{F: innerF}
+		sel, err := inner.Select(pool)
+		if err != nil {
+			return nil, fmt.Errorf("iterated krum at |pool|=%d: %w", len(pool), err)
+		}
+		w := sel[0]
+		selected = append(selected, remaining[w])
+		pool = append(pool[:w], pool[w+1:]...)
+		remaining = append(remaining[:w], remaining[w+1:]...)
+	}
+	return selected, nil
+}
+
+// Aggregate implements Rule: the coordinate-wise trimmed mean of the
+// selected set around the median.
+func (b *Bulyan) Aggregate(dst []float64, vectors [][]float64) error {
+	if err := checkInputs(dst, vectors); err != nil {
+		return err
+	}
+	selected, err := b.Select(vectors)
+	if err != nil {
+		return err
+	}
+	theta := len(selected)
+	beta := theta - 2*b.F
+	if beta < 1 {
+		// Unreachable given validate(), kept as a defensive guard.
+		return fmt.Errorf("β = %d: %w", beta, ErrBadParameter)
+	}
+	type entry struct {
+		val  float64
+		dist float64
+	}
+	column := make([]entry, theta)
+	vals := make([]float64, theta)
+	for j := range dst {
+		for i, idx := range selected {
+			vals[i] = vectors[idx][j]
+		}
+		med := medianOf(vals)
+		for i, v := range vals {
+			d := v - med
+			if d < 0 {
+				d = -d
+			}
+			column[i] = entry{val: v, dist: d}
+		}
+		sort.Slice(column, func(a, c int) bool { return column[a].dist < column[c].dist })
+		var s float64
+		for i := 0; i < beta; i++ {
+			s += column[i].val
+		}
+		dst[j] = s / float64(beta)
+	}
+	return nil
+}
+
+// medianOf returns the median of vals; it scrambles the slice order.
+func medianOf(vals []float64) float64 {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return 0.5 * (vals[n/2-1] + vals[n/2])
+}

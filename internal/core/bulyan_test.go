@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"krum/internal/vec"
+)
+
+func TestBulyanRequiresN4F3(t *testing.T) {
+	mk := func(n int) [][]float64 {
+		vs := make([][]float64, n)
+		for i := range vs {
+			vs[i] = []float64{float64(i)}
+		}
+		return vs
+	}
+	dst := make([]float64, 1)
+	if err := NewBulyan(1).Aggregate(dst, mk(6)); !errors.Is(err, ErrTooFewWorkers) {
+		t.Errorf("n=6 f=1 accepted: %v", err)
+	}
+	if err := NewBulyan(1).Aggregate(dst, mk(7)); err != nil {
+		t.Errorf("n=7 f=1 rejected: %v", err)
+	}
+	if err := NewBulyan(-1).Aggregate(dst, mk(7)); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("negative f accepted: %v", err)
+	}
+	if _, err := NewBulyan(0).Select(nil); !errors.Is(err, ErrNoVectors) {
+		t.Errorf("empty input accepted: %v", err)
+	}
+}
+
+func TestBulyanSelectsThetaFromCorrectCluster(t *testing.T) {
+	rng := vec.NewRNG(1)
+	const n, f, d = 11, 2, 6 // n ≥ 4f+3 = 11
+	center := rng.NewNormal(d, 0, 1)
+	vs := clusterWithOutliers(rng, n, f, d, center, 0.05, 500)
+	b := NewBulyan(f)
+	sel, err := b.Select(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != n-2*f {
+		t.Fatalf("selected %d, want θ = %d", len(sel), n-2*f)
+	}
+	seen := make(map[int]bool)
+	for _, idx := range sel {
+		if seen[idx] {
+			t.Fatalf("duplicate selection %d", idx)
+		}
+		seen[idx] = true
+		if idx >= n-f {
+			t.Errorf("bulyan selected Byzantine proposal %d", idx)
+		}
+	}
+}
+
+func TestBulyanAggregateNearClusterCenter(t *testing.T) {
+	rng := vec.NewRNG(2)
+	const n, f, d = 12, 2, 8
+	center := rng.NewNormal(d, 0, 1)
+	vs := clusterWithOutliers(rng, n, f, d, center, 0.05, 1000)
+	dst := make([]float64, d)
+	if err := NewBulyan(f).Aggregate(dst, vs); err != nil {
+		t.Fatal(err)
+	}
+	if vec.Dist(dst, center) > 0.2 {
+		t.Errorf("bulyan output %.3f from center", vec.Dist(dst, center))
+	}
+}
+
+// The motivating scenario for Bulyan: an attacker matches the cluster on
+// every coordinate except one, where it plants a huge value. Krum can
+// pick it (the single coordinate barely moves Euclidean distance in high
+// dimension — here it does move it, so we use a moderate spike close to
+// the Krum decision boundary); Bulyan's trimmed second phase must crush
+// the spike regardless of the selection outcome.
+func TestBulyanCrushesSingleCoordinateSpike(t *testing.T) {
+	rng := vec.NewRNG(3)
+	const n, f, d = 11, 2, 50
+	center := make([]float64, d)
+	vs := make([][]float64, n)
+	for i := 0; i < n-f; i++ {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = center[j] + 0.5*rng.NormFloat64()
+		}
+		vs[i] = v
+	}
+	for i := n - f; i < n; i++ {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = center[j] + 0.5*rng.NormFloat64()
+		}
+		v[7] = 100 // the hidden-coordinate attack
+		vs[i] = v
+	}
+	dst := make([]float64, d)
+	if err := NewBulyan(f).Aggregate(dst, vs); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dst[7]) > 2 {
+		t.Errorf("bulyan coordinate 7 = %v, spike not trimmed", dst[7])
+	}
+	// The naive average is visibly pulled.
+	avg := make([]float64, d)
+	if err := (Average{}).Aggregate(avg, vs); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avg[7]) < 10 {
+		t.Errorf("test not discriminating: average coordinate 7 = %v", avg[7])
+	}
+}
+
+func TestBulyanAgreesWithMeanOnIdenticalInputs(t *testing.T) {
+	const n, f, d = 11, 2, 4
+	vs := make([][]float64, n)
+	for i := range vs {
+		vs[i] = []float64{1, 2, 3, 4}
+	}
+	dst := make([]float64, d)
+	if err := NewBulyan(f).Aggregate(dst, vs); err != nil {
+		t.Fatal(err)
+	}
+	if !vec.ApproxEqual(dst, []float64{1, 2, 3, 4}, 1e-12) {
+		t.Errorf("bulyan on identical inputs = %v", dst)
+	}
+}
+
+func TestBulyanDoesNotMutateInputs(t *testing.T) {
+	rng := vec.NewRNG(4)
+	const n, f, d = 11, 2, 5
+	vs := make([][]float64, n)
+	for i := range vs {
+		vs[i] = rng.NewNormal(d, 0, 1)
+	}
+	orig := vec.CloneAll(vs)
+	dst := make([]float64, d)
+	if err := NewBulyan(f).Aggregate(dst, vs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vs {
+		if !vec.ApproxEqual(vs[i], orig[i], 0) {
+			t.Fatalf("input %d mutated", i)
+		}
+	}
+}
+
+// Property: Bulyan's output is always inside the coordinate-wise range
+// of the selected (hence of all) proposals — it is a trimmed mean, never
+// an extrapolation.
+func TestBulyanOutputInRangeProperty(t *testing.T) {
+	f := func(seed uint64, f8 uint8) bool {
+		fByz := int(f8 % 3)
+		n := 4*fByz + 3 + int(seed%3)
+		const d = 5
+		rng := vec.NewRNG(seed)
+		vs := make([][]float64, n)
+		for i := range vs {
+			vs[i] = rng.NewNormal(d, 0, 5)
+		}
+		dst := make([]float64, d)
+		if err := NewBulyan(fByz).Aggregate(dst, vs); err != nil {
+			return false
+		}
+		for j := 0; j < d; j++ {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, v := range vs {
+				lo = math.Min(lo, v[j])
+				hi = math.Max(hi, v[j])
+			}
+			if dst[j] < lo-1e-9 || dst[j] > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianOf(t *testing.T) {
+	if got := medianOf([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := medianOf([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+}

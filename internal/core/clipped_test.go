@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"krum/internal/vec"
+)
+
+func TestClippedMeanDefeatsMagnitudeAttack(t *testing.T) {
+	rng := vec.NewRNG(1)
+	const n, d = 9, 6
+	vs := make([][]float64, n)
+	for i := 0; i < n-2; i++ {
+		vs[i] = rng.NewNormal(d, 1, 0.05)
+	}
+	// Two huge-magnitude Byzantine proposals pulling the same way (so
+	// they cannot cancel in the plain average).
+	vs[n-2] = rng.NewNormal(d, 1000, 10)
+	vs[n-1] = rng.NewNormal(d, 1500, 10)
+	dst := make([]float64, d)
+	if err := (ClippedMean{}).Aggregate(dst, vs); err != nil {
+		t.Fatal(err)
+	}
+	center := make([]float64, d)
+	vec.Fill(center, 1)
+	// Clipping bounds each Byzantine contribution to the median norm
+	// (≈ √6), so the mean stays within ~2·√d/n of the center.
+	if vec.Dist(dst, center) > 1.5 {
+		t.Errorf("clipped mean %v dragged to distance %v", dst, vec.Dist(dst, center))
+	}
+	// Control: the plain average is destroyed.
+	avg := make([]float64, d)
+	if err := (Average{}).Aggregate(avg, vs); err != nil {
+		t.Fatal(err)
+	}
+	if vec.Dist(avg, center) < 10 {
+		t.Error("test not discriminating: average survived the magnitude attack")
+	}
+}
+
+func TestClippedMeanFailsDirectionalAttack(t *testing.T) {
+	// f sign-flipped proposals of honest magnitude still shift the
+	// clipped mean — the documented limitation vs Krum.
+	rng := vec.NewRNG(2)
+	const n, f, d = 9, 3, 6
+	g := make([]float64, d)
+	vec.Fill(g, 1)
+	vs := make([][]float64, n)
+	for i := 0; i < n-f; i++ {
+		v := vec.Clone(g)
+		for j := range v {
+			v[j] += 0.05 * rng.NormFloat64()
+		}
+		vs[i] = v
+	}
+	for i := n - f; i < n; i++ {
+		v := vec.Clone(g)
+		vec.Scale(-1, v)
+		vs[i] = v
+	}
+	clipped := make([]float64, d)
+	if err := (ClippedMean{}).Aggregate(clipped, vs); err != nil {
+		t.Fatal(err)
+	}
+	krumOut := make([]float64, d)
+	if err := NewKrum(f).Aggregate(krumOut, vs); err != nil {
+		t.Fatal(err)
+	}
+	// Krum's output aligns with g; the clipped mean is pulled toward
+	// (n−2f)/n·g ≈ g/3, a 3× shrink in the gradient direction.
+	if clipDot, krumDot := vec.Dot(clipped, g), vec.Dot(krumOut, g); clipDot > 0.7*krumDot {
+		t.Errorf("clipped mean unexpectedly robust: dot %v vs krum %v", clipDot, krumDot)
+	}
+}
+
+func TestClippedMeanNoOpOnEqualNorms(t *testing.T) {
+	vs := [][]float64{{1, 0}, {0, 1}, {-1, 0}}
+	dst := make([]float64, 2)
+	if err := (ClippedMean{}).Aggregate(dst, vs); err != nil {
+		t.Fatal(err)
+	}
+	if !vec.ApproxEqual(dst, []float64{0, 1.0 / 3.0}, 1e-12) {
+		t.Errorf("clipped mean = %v", dst)
+	}
+}
+
+func TestClippedMeanZeroVectors(t *testing.T) {
+	vs := [][]float64{{0, 0}, {0, 0}, {5, 5}}
+	dst := make([]float64, 2)
+	if err := (ClippedMean{}).Aggregate(dst, vs); err != nil {
+		t.Fatal(err)
+	}
+	if !vec.AllFinite(dst) {
+		t.Error("zero-norm division leaked")
+	}
+}
+
+func TestClippedMeanErrors(t *testing.T) {
+	if err := (ClippedMean{}).Aggregate(make([]float64, 1), nil); !errors.Is(err, ErrNoVectors) {
+		t.Error("empty accepted")
+	}
+	if (ClippedMean{}).Name() != "clippedmean" {
+		t.Error("name")
+	}
+}

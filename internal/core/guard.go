@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"krum/internal/vec"
+)
+
+// FiniteGuard wraps any Rule with a pre-filter that neutralizes
+// non-finite proposals (NaN or ±Inf coordinates) by replacing them with
+// zero vectors before aggregation.
+//
+// Rationale: the paper's model lets a Byzantine worker propose ANY
+// vector, including NaN — and a single NaN poisons every Euclidean
+// distance it touches, which would make the Krum scores of honest
+// workers NaN as well (IEEE comparisons with NaN are false, so the
+// argmin degenerates to "first index"). A real parameter server must
+// not let one malformed message select the attacker; a zero vector is
+// the canonical harmless proposal (a no-op update direction). The
+// replacement preserves n, so the wrapped rule's (α, f) guarantee is
+// unaffected: a zeroed proposal is just another Byzantine vector, one
+// that happens to be benign.
+type FiniteGuard struct {
+	// Inner is the wrapped rule; it must be non-nil.
+	Inner Rule
+}
+
+var _ Rule = FiniteGuard{}
+
+// Name implements Rule.
+func (g FiniteGuard) Name() string {
+	if g.Inner == nil {
+		return "finiteguard(nil)"
+	}
+	return "finiteguard(" + g.Inner.Name() + ")"
+}
+
+// Aggregate implements Rule.
+func (g FiniteGuard) Aggregate(dst []float64, vectors [][]float64) error {
+	if g.Inner == nil {
+		return fmt.Errorf("nil inner rule: %w", ErrBadParameter)
+	}
+	if err := checkInputs(dst, vectors); err != nil {
+		return err
+	}
+	sanitized := vectors
+	var replaced []float64 // shared zero vector, allocated lazily
+	for i, v := range vectors {
+		if vec.AllFinite(v) {
+			continue
+		}
+		if replaced == nil {
+			// Copy-on-write: never mutate the caller's slice of
+			// proposals, only our view of it.
+			sanitized = append([][]float64(nil), vectors...)
+			replaced = make([]float64, len(dst))
+		}
+		sanitized[i] = replaced
+	}
+	if err := g.Inner.Aggregate(dst, sanitized); err != nil {
+		return fmt.Errorf("guarded %s: %w", g.Inner.Name(), err)
+	}
+	return nil
+}
+
+// Select implements Selector when the inner rule does, applying the
+// same sanitization so selection histograms stay meaningful under
+// malformed input.
+func (g FiniteGuard) Select(vectors [][]float64) ([]int, error) {
+	sel, ok := g.Inner.(Selector)
+	if !ok {
+		return nil, fmt.Errorf("inner rule %T is not a Selector: %w", g.Inner, ErrBadParameter)
+	}
+	sanitized := vectors
+	var replaced []float64
+	dim := 0
+	if len(vectors) > 0 {
+		dim = len(vectors[0])
+	}
+	for i, v := range vectors {
+		if vec.AllFinite(v) {
+			continue
+		}
+		if replaced == nil {
+			sanitized = append([][]float64(nil), vectors...)
+			replaced = make([]float64, dim)
+		}
+		sanitized[i] = replaced
+	}
+	return sel.Select(sanitized)
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"krum/internal/vec"
+)
+
+// KrumK is the ablation variant of Krum with an explicit neighbour
+// count: the score sums the K smallest squared distances instead of the
+// paper's n − f − 2. It exists to demonstrate WHY the paper picks
+// n − f − 2 (experiment E8 / BenchmarkKrumKAblation):
+//
+//   - K too large (→ n − 1) degenerates to the medoid criterion, which
+//     Figure 2's collusion captures: remote decoys re-enter the sums.
+//   - K too small discriminates on too few neighbours, raising the
+//     variance of the selection (and K ≤ f lets a clique of f colluders
+//     form a mutual-neighbour cluster whose internal distances are
+//     zero, winning the argmin).
+//   - K = n − f − 2 is the largest count guaranteed to consist of
+//     correct vectors' distances only, up to the two slots the proof
+//     reserves.
+//
+// Not part of the paper's API; use Krum for real deployments.
+type KrumK struct {
+	// K is the neighbour count (1 ≤ K ≤ n−2 at aggregation time).
+	K int
+}
+
+var (
+	_ Rule     = (*KrumK)(nil)
+	_ Selector = (*KrumK)(nil)
+)
+
+// Name implements Rule.
+func (k *KrumK) Name() string { return fmt.Sprintf("krumk(k=%d)", k.K) }
+
+// Select implements Selector.
+func (k *KrumK) Select(vectors [][]float64) ([]int, error) {
+	n := len(vectors)
+	if n == 0 {
+		return nil, ErrNoVectors
+	}
+	if k.K < 1 || k.K > n-2 {
+		return nil, fmt.Errorf("k = %d with n = %d (need 1 ≤ k ≤ n−2): %w", k.K, n, ErrBadParameter)
+	}
+	d := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != d {
+			return nil, fmt.Errorf("vector %d has dimension %d, want %d: %w", i, len(v), d, ErrDimensionMismatch)
+		}
+	}
+	dm := vec.NewDistanceMatrix(vectors)
+	scores := make([]float64, n)
+	scratch := make([]float64, k.K)
+	for i := 0; i < n; i++ {
+		scores[i] = dm.SumKSmallestExcludingSelf(i, k.K, scratch)
+	}
+	return []int{vec.Argmin(scores)}, nil
+}
+
+// Aggregate implements Rule.
+func (k *KrumK) Aggregate(dst []float64, vectors [][]float64) error {
+	if err := checkInputs(dst, vectors); err != nil {
+		return err
+	}
+	sel, err := k.Select(vectors)
+	if err != nil {
+		return err
+	}
+	copy(dst, vectors[sel[0]])
+	return nil
+}

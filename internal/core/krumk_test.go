@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"krum/internal/vec"
+)
+
+func TestKrumKMatchesKrumAtPaperValue(t *testing.T) {
+	rng := vec.NewRNG(1)
+	for trial := 0; trial < 15; trial++ {
+		n := 6 + rng.Intn(8)
+		f := rng.Intn(n - 4)
+		d := 1 + rng.Intn(6)
+		vs := make([][]float64, n)
+		for i := range vs {
+			vs[i] = rng.NewNormal(d, 0, 2)
+		}
+		a := make([]float64, d)
+		b := make([]float64, d)
+		if err := NewKrum(f).Aggregate(a, vs); err != nil {
+			t.Fatal(err)
+		}
+		kk := &KrumK{K: n - f - 2}
+		if err := kk.Aggregate(b, vs); err != nil {
+			t.Fatal(err)
+		}
+		if !vec.ApproxEqual(a, b, 0) {
+			t.Fatalf("trial %d: KrumK(n-f-2) != Krum(f)", trial)
+		}
+	}
+}
+
+func TestKrumKValidation(t *testing.T) {
+	vs := [][]float64{{1}, {2}, {3}, {4}}
+	dst := make([]float64, 1)
+	if err := (&KrumK{K: 0}).Aggregate(dst, vs); !errors.Is(err, ErrBadParameter) {
+		t.Error("k=0 accepted")
+	}
+	if err := (&KrumK{K: 3}).Aggregate(dst, vs); !errors.Is(err, ErrBadParameter) {
+		t.Error("k=n-1 accepted")
+	}
+	if _, err := (&KrumK{K: 1}).Select(nil); !errors.Is(err, ErrNoVectors) {
+		t.Error("empty accepted")
+	}
+	if err := (&KrumK{K: 1}).Aggregate(dst, [][]float64{{1}, {2, 3}, {4}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Error("ragged accepted")
+	}
+}
+
+// The design-choice demonstration: with K near n−1 the rule inherits the
+// medoid's Figure 2 vulnerability; at the paper's K it does not.
+func TestKrumKLargeKCapturedByCollusion(t *testing.T) {
+	rng := vec.NewRNG(2)
+	const n, f, d = 13, 3, 8
+	center := rng.NewNormal(d, 0, 1)
+	correct := make([][]float64, n-f)
+	for i := range correct {
+		v := vec.Clone(center)
+		for j := range v {
+			v[j] += 0.05 * rng.NormFloat64()
+		}
+		correct[i] = v
+	}
+	// Figure 2 collusion geometry: f−1 decoys, one dragged barycenter.
+	decoyOffset := 1e4
+	proposals := append([][]float64(nil), correct...)
+	for i := 0; i < f-1; i++ {
+		v := vec.Clone(center)
+		for j := range v {
+			v[j] += decoyOffset
+		}
+		proposals = append(proposals, v)
+	}
+	bary := make([]float64, d)
+	for _, v := range proposals {
+		vec.Axpy(1, v, bary)
+	}
+	vec.Scale(1/float64(n-1), bary)
+	proposals = append(proposals, bary)
+
+	// K = n−2 (max allowed): every score sums all other vectors —
+	// exactly the medoid criterion, captured by the collusion.
+	large := &KrumK{K: n - 2}
+	sel, err := large.Select(proposals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel[0] != n-1 {
+		t.Errorf("K=n−2 selected %d; expected the collusion to capture it (medoid behaviour)", sel[0])
+	}
+
+	// Paper's K: immune.
+	paper := &KrumK{K: n - f - 2}
+	sel, err = paper.Select(proposals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel[0] >= n-f {
+		t.Errorf("paper K selected Byzantine %d", sel[0])
+	}
+}
+
+// K ≤ f hazard: f identical colluders form a zero-distance clique that
+// wins the argmin when the score only counts K ≤ f−1 neighbours.
+func TestKrumKSmallKCliqueCapture(t *testing.T) {
+	rng := vec.NewRNG(3)
+	const n, f, d = 11, 4, 6
+	center := rng.NewNormal(d, 0, 1)
+	proposals := make([][]float64, 0, n)
+	for i := 0; i < n-f; i++ {
+		v := vec.Clone(center)
+		for j := range v {
+			v[j] += 0.1 * rng.NormFloat64()
+		}
+		proposals = append(proposals, v)
+	}
+	// f colluders at an arbitrary remote point, all EXACTLY equal.
+	lie := vec.Clone(center)
+	for j := range lie {
+		lie[j] += 50
+	}
+	for i := 0; i < f; i++ {
+		proposals = append(proposals, vec.Clone(lie))
+	}
+
+	clique := &KrumK{K: f - 1} // each colluder's K nearest are its clones: score 0
+	sel, err := clique.Select(proposals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel[0] < n-f {
+		t.Errorf("small-K clique attack failed to capture (selected %d) — test geometry broken", sel[0])
+	}
+
+	paper := &KrumK{K: n - f - 2} // = 5 > f−1: scores must include real distances
+	sel, err = paper.Select(proposals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel[0] >= n-f {
+		t.Errorf("paper K captured by clique: selected %d", sel[0])
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"krum/internal/vec"
+)
+
+func TestEtaValuesAndAsymptotics(t *testing.T) {
+	// f = 0: inner = n, η = √(2n).
+	for _, n := range []int{3, 10, 100} {
+		got, err := Eta(n, 0)
+		if err != nil {
+			t.Fatalf("Eta(%d, 0): %v", n, err)
+		}
+		if want := math.Sqrt(2 * float64(n)); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Eta(%d, 0) = %v, want %v", n, got, want)
+		}
+	}
+	// Monotone in f for fixed n.
+	prev := 0.0
+	for f := 0; 2*f+2 < 31; f++ {
+		got, err := Eta(31, f)
+		if err != nil {
+			t.Fatalf("Eta(31, %d): %v", f, err)
+		}
+		if got <= prev {
+			t.Errorf("Eta(31, %d) = %v not increasing (prev %v)", f, got, prev)
+		}
+		prev = got
+	}
+	// f = O(1): η/√n bounded. f = n/4: η/n bounded.
+	r1 := make([]float64, 0, 4)
+	r2 := make([]float64, 0, 4)
+	for _, n := range []int{40, 80, 160, 320} {
+		e1, err := Eta(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1 = append(r1, e1/math.Sqrt(float64(n)))
+		e2, err := Eta(n, n/4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2 = append(r2, e2/float64(n))
+	}
+	for i := 1; i < len(r1); i++ {
+		if r1[i] > r1[0]*1.5 {
+			t.Errorf("η(n,1)/√n grows: %v", r1)
+		}
+		if r2[i] > r2[0]*1.5 {
+			t.Errorf("η(n,n/4)/n grows: %v", r2)
+		}
+	}
+}
+
+func TestEtaErrors(t *testing.T) {
+	if _, err := Eta(5, -1); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("negative f: %v", err)
+	}
+	if _, err := Eta(6, 2); !errors.Is(err, ErrTooFewWorkers) {
+		t.Errorf("2f+2 ≥ n accepted: %v", err)
+	}
+	if _, err := Eta(7, 2); err != nil {
+		t.Errorf("2f+2 < n rejected: %v", err)
+	}
+}
+
+// largeNoise returns an adversary proposing huge random vectors.
+func largeNoise(magnitude float64, seed uint64, f int) Adversary {
+	rng := vec.NewRNG(seed)
+	return func(g []float64, correct [][]float64) [][]float64 {
+		out := make([][]float64, f)
+		for i := range out {
+			out[i] = rng.NewNormal(len(g), magnitude, 1)
+		}
+		return out
+	}
+}
+
+func TestKrumSatisfiesResilienceAtOperatingPoint(t *testing.T) {
+	const n, f, d = 15, 3, 10
+	g := make([]float64, d)
+	vec.Fill(g, 1) // ‖g‖ = √10
+	// Choose σ small enough that η√d·σ < ‖g‖: η(15,3) = √(2·(12+(3·10+9·11)/7))
+	// = √(2·30.43) ≈ 7.80; √d = √10 ⇒ need σ < √10/(7.80·√10) ≈ 0.128.
+	rep, err := VerifyResilience(ResilienceConfig{
+		Rule:      NewKrum(f),
+		N:         n,
+		F:         f,
+		Gradient:  g,
+		Sigma:     0.05,
+		Adversary: largeNoise(100, 99, f),
+		Trials:    1500,
+		Seed:      42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SinAlpha >= 1 {
+		t.Fatalf("test misconfigured: sin α = %v ≥ 1", rep.SinAlpha)
+	}
+	if !rep.ConditionI {
+		t.Errorf("condition (i) failed: ⟨EF,g⟩ = %v < bound %v", rep.DotProduct, rep.Bound)
+	}
+	if !rep.ConditionII {
+		t.Errorf("condition (ii) failed: moment ratios %v", rep.MomentRatio)
+	}
+}
+
+func TestAverageViolatesResilienceUnderAttack(t *testing.T) {
+	const n, f, d = 15, 3, 10
+	g := make([]float64, d)
+	vec.Fill(g, 1)
+	// Attack pushes the mean far in the -g direction: averaging must
+	// fail condition (i).
+	adv := func(g []float64, correct [][]float64) [][]float64 {
+		out := make([][]float64, f)
+		for i := range out {
+			v := vec.Clone(g)
+			vec.Scale(-100, v)
+			out[i] = v
+		}
+		return out
+	}
+	rep, err := VerifyResilience(ResilienceConfig{
+		Rule:      Average{},
+		N:         n,
+		F:         f,
+		Gradient:  g,
+		Sigma:     0.05,
+		Adversary: adv,
+		Trials:    800,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ConditionI {
+		t.Errorf("averaging passed condition (i) under a directed attack: dot = %v, bound = %v",
+			rep.DotProduct, rep.Bound)
+	}
+}
+
+func TestResilienceNoAdversaryFillsCorrect(t *testing.T) {
+	const n, f, d = 9, 2, 4
+	g := make([]float64, d)
+	vec.Fill(g, 2)
+	rep, err := VerifyResilience(ResilienceConfig{
+		Rule:     NewKrum(f),
+		N:        n,
+		F:        f,
+		Gradient: g,
+		Sigma:    0.01,
+		Trials:   400,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ConditionI || !rep.ConditionII {
+		t.Errorf("benign run failed resilience: %+v", rep)
+	}
+	// ⟨EF, g⟩ should be very close to ‖g‖² = 16 without attackers.
+	if math.Abs(rep.DotProduct-16) > 0.5 {
+		t.Errorf("benign dot = %v, want ≈16", rep.DotProduct)
+	}
+}
+
+func TestVerifyResilienceValidation(t *testing.T) {
+	g := []float64{1}
+	base := ResilienceConfig{Rule: NewKrum(1), N: 7, F: 1, Gradient: g, Sigma: 0.1, Trials: 10}
+	tests := []struct {
+		name   string
+		mutate func(*ResilienceConfig)
+		want   error
+	}{
+		{name: "nil rule", mutate: func(c *ResilienceConfig) { c.Rule = nil }, want: ErrBadParameter},
+		{name: "negative f", mutate: func(c *ResilienceConfig) { c.F = -1 }, want: ErrBadParameter},
+		{name: "f > n", mutate: func(c *ResilienceConfig) { c.F = 99 }, want: ErrBadParameter},
+		{name: "empty gradient", mutate: func(c *ResilienceConfig) { c.Gradient = nil }, want: ErrBadParameter},
+		{name: "zero gradient", mutate: func(c *ResilienceConfig) { c.Gradient = []float64{0} }, want: ErrBadParameter},
+		{name: "2f+2 ≥ n", mutate: func(c *ResilienceConfig) { c.N = 4 }, want: ErrTooFewWorkers},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := VerifyResilience(cfg); !errors.Is(err, tt.want) {
+				t.Errorf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+
+	t.Run("adversary count mismatch", func(t *testing.T) {
+		cfg := base
+		cfg.Adversary = func(g []float64, correct [][]float64) [][]float64 { return nil }
+		if _, err := VerifyResilience(cfg); !errors.Is(err, ErrBadParameter) {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestResilienceSinAlphaGrowsWithSigma(t *testing.T) {
+	const n, f, d = 15, 3, 10
+	g := make([]float64, d)
+	vec.Fill(g, 1)
+	var prev float64
+	for _, sigma := range []float64{0.01, 0.05, 0.1} {
+		rep, err := VerifyResilience(ResilienceConfig{
+			Rule: NewKrum(f), N: n, F: f, Gradient: g, Sigma: sigma, Trials: 50, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.SinAlpha <= prev {
+			t.Errorf("sin α not increasing with σ: %v after %v", rep.SinAlpha, prev)
+		}
+		prev = rep.SinAlpha
+	}
+}

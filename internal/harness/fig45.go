@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"krum"
+	"krum/attack"
+	"krum/distsgd"
+	"krum/internal/core"
+	"krum/internal/metrics"
+)
+
+// AttackCurves holds the four accuracy-vs-round series of the Figure
+// 4/5 layout: {average, krum} × {0% Byzantine, ~33% Byzantine}.
+type AttackCurves struct {
+	// Attack names the Byzantine behaviour.
+	Attack string
+	// Rounds is the shared evaluation axis.
+	Rounds []int
+	// AvgClean, AvgByz, KrumClean, KrumByz are the accuracy series.
+	AvgClean, AvgByz, KrumClean, KrumByz []float64
+	// Final accuracies (last evaluation of each run).
+	AvgCleanFinal, AvgByzFinal, KrumCleanFinal, KrumByzFinal float64
+	// AvgByzDiverged reports whether the attacked averaging run blew
+	// up before finishing.
+	AvgByzDiverged bool
+}
+
+// runCurve executes one training run and returns its accuracy series.
+func runCurve(base distsgd.Config, rule core.Rule, f int, atk attack.Strategy) ([]int, []float64, *distsgd.Result, error) {
+	cfg := base
+	cfg.Rule = rule
+	cfg.F = f
+	cfg.Attack = atk
+	res, err := distsgd.Run(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rounds, accs := res.AccuracySeries()
+	return rounds, accs, res, nil
+}
+
+// padTo extends a (possibly short, because diverged) series to the
+// reference axis by repeating the last value — the paper plots
+// destroyed runs as flat-lined chance accuracy.
+func padTo(axis []int, rounds []int, accs []float64, fallback float64) []float64 {
+	out := make([]float64, len(axis))
+	j := 0
+	last := fallback
+	for i, r := range axis {
+		if j < len(rounds) && rounds[j] == r {
+			last = accs[j]
+			j++
+		}
+		out[i] = last
+	}
+	return out
+}
+
+// RunAttackFigure executes the Figure 4 (Gaussian) or Figure 5
+// (omniscient) reproduction on the image workload: accuracy per round
+// for averaging and Krum with 0% and ≈33% Byzantine workers.
+func RunAttackFigure(w io.Writer, scale Scale, seed uint64, atk attack.Strategy, figName string) (*AttackCurves, error) {
+	if atk == nil {
+		return nil, fmt.Errorf("nil attack: %w", ErrConfig)
+	}
+	const n = 15
+	f := 4 // 4/15 ≈ 27%, satisfying 2f+2 < n; the paper uses 33% of n=?
+	rounds := pick(scale, 150, 600)
+	evalEvery := pick(scale, 10, 20)
+
+	work, err := newImageWorkload(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	base := distsgd.Config{
+		Model:     work.mlp,
+		Dataset:   work.ds,
+		N:         n,
+		BatchSize: pick(scale, 16, 32),
+		Schedule:  krum.ScheduleInverseTStretched(0.5, 0.75, 200),
+		Rounds:    rounds,
+		Seed:      seed,
+		EvalEvery: evalEvery,
+		EvalBatch: pick(scale, 300, 1000),
+	}
+
+	curves := &AttackCurves{Attack: atk.Name()}
+
+	axis, avgClean, avgCleanRes, err := runCurve(base, krum.Average{}, 0, nil)
+	if err != nil {
+		return nil, fmt.Errorf("average clean: %w", err)
+	}
+	curves.Rounds = axis
+	curves.AvgClean = avgClean
+	curves.AvgCleanFinal = avgCleanRes.FinalTestAccuracy
+
+	byzRounds, byzAccs, avgByzRes, err := runCurve(base, krum.Average{}, f, atk)
+	if err != nil {
+		return nil, fmt.Errorf("average byz: %w", err)
+	}
+	curves.AvgByzDiverged = avgByzRes.Diverged
+	curves.AvgByz = padTo(axis, byzRounds, byzAccs, 0.1)
+	curves.AvgByzFinal = curves.AvgByz[len(curves.AvgByz)-1]
+
+	_, krumClean, krumCleanRes, err := runCurve(base, krum.NewKrum(f), 0, nil)
+	if err != nil {
+		return nil, fmt.Errorf("krum clean: %w", err)
+	}
+	curves.KrumClean = padTo(axis, axis, krumClean, 0.1)
+	curves.KrumCleanFinal = krumCleanRes.FinalTestAccuracy
+
+	_, krumByz, krumByzRes, err := runCurve(base, krum.NewKrum(f), f, atk)
+	if err != nil {
+		return nil, fmt.Errorf("krum byz: %w", err)
+	}
+	curves.KrumByz = padTo(axis, axis, krumByz, 0.1)
+	curves.KrumByzFinal = krumByzRes.FinalTestAccuracy
+
+	section(w, fmt.Sprintf("%s — %s attack on %s", figName, atk.Name(), work.label))
+	fmt.Fprintf(w, "n = %d workers, f = %d (%.0f%%) Byzantine when attacked\n\n", n, f, 100*float64(f)/float64(n))
+	xs := make([]float64, len(axis))
+	for i, r := range axis {
+		xs[i] = float64(r)
+	}
+	fig := &metrics.Figure{
+		Title:  "test accuracy vs round",
+		XLabel: "round",
+		X:      xs,
+		Series: []metrics.Series{
+			{Name: "average 0% byz", Y: curves.AvgClean},
+			{Name: fmt.Sprintf("average %d byz", f), Y: curves.AvgByz},
+			{Name: "krum 0% byz", Y: curves.KrumClean},
+			{Name: fmt.Sprintf("krum %d byz", f), Y: curves.KrumByz},
+		},
+	}
+	if err := fig.Render(w); err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w)
+	if err := fig.ASCIIChart(w, 72, 14); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "\nfinal: avg(0%%)=%.3f avg(byz)=%.3f (diverged=%v) krum(0%%)=%.3f krum(byz)=%.3f\n",
+		curves.AvgCleanFinal, curves.AvgByzFinal, curves.AvgByzDiverged,
+		curves.KrumCleanFinal, curves.KrumByzFinal)
+	return curves, nil
+}
+
+// RunFig4 is the Gaussian-attack figure (full paper Figure 4).
+func RunFig4(w io.Writer, scale Scale, seed uint64) (*AttackCurves, error) {
+	return RunAttackFigure(w, scale, seed, attack.Gaussian{Sigma: 200}, "F4 / Figure 4")
+}
+
+// RunFig5 is the omniscient-attack figure (full paper Figure 5).
+func RunFig5(w io.Writer, scale Scale, seed uint64) (*AttackCurves, error) {
+	return RunAttackFigure(w, scale, seed, attack.Omniscient{Scale: 20}, "F5 / Figure 5")
+}

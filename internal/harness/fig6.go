@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"krum"
+	"krum/attack"
+	"krum/distsgd"
+	"krum/internal/metrics"
+)
+
+// Fig6Row is one m operating point of the Multi-Krum trade-off.
+type Fig6Row struct {
+	// M is the Multi-Krum parameter (1 = Krum, n = averaging).
+	M int
+	// CleanFinal is the final accuracy without attackers.
+	CleanFinal float64
+	// CleanRoundsToTarget is the first evaluated round reaching the
+	// target accuracy without attackers (-1 if never) — the
+	// convergence-speed axis of Figure 6.
+	CleanRoundsToTarget int
+	// ByzFinal is the final accuracy with f Gaussian attackers — the
+	// resilience axis.
+	ByzFinal float64
+}
+
+// Fig6Result summarizes experiment F6.
+type Fig6Result struct {
+	// N, F document the cluster.
+	N, F int
+	// Target is the accuracy threshold used for the speed comparison.
+	Target float64
+	// Rows is one entry per m.
+	Rows []Fig6Row
+}
+
+// RunFig6 executes the Multi-Krum trade-off: convergence speed grows
+// with m (averaging more estimates reduces variance) while resilience
+// holds up to the safe range and collapses as m → n.
+func RunFig6(w io.Writer, scale Scale, seed uint64) (*Fig6Result, error) {
+	const n, f = 15, 4
+	rounds := pick(scale, 150, 500)
+	evalEvery := pick(scale, 10, 20)
+	target := 0.75
+
+	work, err := newImageWorkload(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	base := distsgd.Config{
+		Model:     work.mlp,
+		Dataset:   work.ds,
+		N:         n,
+		BatchSize: pick(scale, 16, 32),
+		Schedule:  krum.ScheduleInverseTStretched(0.5, 0.75, 200),
+		Rounds:    rounds,
+		Seed:      seed,
+		EvalEvery: evalEvery,
+		EvalBatch: pick(scale, 300, 1000),
+	}
+
+	res := &Fig6Result{N: n, F: f, Target: target}
+	for _, m := range []int{1, 4, 8, 11, 15} {
+		rule := krum.NewMultiKrum(f, m)
+
+		cleanCfg := base
+		cleanCfg.Rule = rule
+		cleanCfg.F = 0
+		cleanRun, err := distsgd.Run(cleanCfg)
+		if err != nil {
+			return nil, fmt.Errorf("m=%d clean: %w", m, err)
+		}
+		roundsAxis, accs := cleanRun.AccuracySeries()
+		toTarget := -1
+		for i, a := range accs {
+			if a >= target {
+				toTarget = roundsAxis[i]
+				break
+			}
+		}
+
+		byzCfg := base
+		byzCfg.Rule = rule
+		byzCfg.F = f
+		byzCfg.Attack = attack.Gaussian{Sigma: 200}
+		byzRun, err := distsgd.Run(byzCfg)
+		if err != nil {
+			return nil, fmt.Errorf("m=%d byz: %w", m, err)
+		}
+		byzFinal := byzRun.FinalTestAccuracy
+		if byzRun.Diverged || math.IsNaN(byzFinal) {
+			byzFinal = 0.1 // chance
+		}
+
+		res.Rows = append(res.Rows, Fig6Row{
+			M:                   m,
+			CleanFinal:          cleanRun.FinalTestAccuracy,
+			CleanRoundsToTarget: toTarget,
+			ByzFinal:            byzFinal,
+		})
+	}
+
+	section(w, fmt.Sprintf("F6 / Figure 6 — Multi-Krum trade-off on %s", work.label))
+	fmt.Fprintf(w, "n = %d; 'byz' columns face f = %d Gaussian attackers; target accuracy %.2f\n\n", n, f, target)
+	tbl := metrics.NewTable("m", "clean final acc", "rounds to target (clean)", "final acc with attack")
+	for _, r := range res.Rows {
+		toTarget := "never"
+		if r.CleanRoundsToTarget >= 0 {
+			toTarget = fmt.Sprintf("%d", r.CleanRoundsToTarget)
+		}
+		tbl.AddRowf(r.M, r.CleanFinal, toTarget, r.ByzFinal)
+	}
+	if err := tbl.Render(w); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "\nLarger m averages more estimates (faster/cleaner convergence, Figure 6);\nresilience holds while the selected set cannot contain a majority of\nByzantine proposals and collapses as m → n (averaging).\n")
+	return res, nil
+}

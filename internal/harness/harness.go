@@ -1,0 +1,87 @@
+// Package harness defines and runs the reproduction experiments: one
+// regenerator per lemma/proposition/figure of the paper (and of its full
+// version's evaluation section), as indexed in DESIGN.md §4 and
+// EXPERIMENTS.md. Each experiment returns a machine-checkable summary —
+// the benches and integration tests assert the paper's qualitative
+// claims on it — and renders the tables/series the paper reports.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"krum/data"
+	"krum/model"
+)
+
+// ErrConfig is returned for invalid experiment configurations.
+var ErrConfig = errors.New("harness: bad configuration")
+
+// Scale selects experiment size: Quick runs in seconds (CI, tests,
+// benches), Full approaches the paper's operating point (minutes).
+type Scale int
+
+// Supported scales (start at 1 per the style guide).
+const (
+	// Quick is the seconds-scale configuration.
+	Quick Scale = iota + 1
+	// Full is the paper-scale configuration.
+	Full
+)
+
+// String returns the scale name.
+func (s Scale) String() string {
+	switch s {
+	case Quick:
+		return "quick"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("scale(%d)", int(s))
+	}
+}
+
+// pick returns q at Quick scale and f at Full scale.
+func pick(s Scale, q, f int) int {
+	if s == Full {
+		return f
+	}
+	return q
+}
+
+// imageWorkload bundles the MNIST-substitute classification task used
+// by the figure experiments.
+type imageWorkload struct {
+	ds    *data.SyntheticMNIST
+	mlp   *model.Network
+	size  int
+	label string
+}
+
+// newImageWorkload builds the MLP-on-synthetic-MNIST workload: image
+// side length and hidden width scale with the experiment scale.
+func newImageWorkload(s Scale, seed uint64) (*imageWorkload, error) {
+	size := pick(s, 10, 16)
+	hidden := pick(s, 16, 48)
+	ds, err := data.NewSyntheticMNIST(size, 0.05)
+	if err != nil {
+		return nil, fmt.Errorf("building dataset: %w", err)
+	}
+	mlp, err := model.NewMLP(ds.Dim(), []int{hidden}, 10, model.ActReLU, model.SoftmaxCrossEntropy{}, seed)
+	if err != nil {
+		return nil, fmt.Errorf("building MLP: %w", err)
+	}
+	return &imageWorkload{
+		ds:   ds,
+		mlp:  mlp,
+		size: size,
+		label: fmt.Sprintf("%dx%d synthetic MNIST, MLP(%d hidden, d=%d)",
+			size, size, hidden, mlp.Dim()),
+	}, nil
+}
+
+// section writes a titled separator for the experiment binaries.
+func section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n===== %s =====\n", title)
+}

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"krum"
+	"krum/attack"
+	"krum/internal/core"
+	"krum/internal/metrics"
+	"krum/internal/vec"
+)
+
+// Table1Cell is one (attack, rule) measurement.
+type Table1Cell struct {
+	// Attack and Rule identify the cell.
+	Attack, Rule string
+	// ByzSelectedRate is the fraction of trials in which the rule
+	// selected at least one Byzantine proposal.
+	ByzSelectedRate float64
+}
+
+// Table1Result is the derived selection-quality matrix (T1 in
+// DESIGN.md): every selection rule against every attack.
+type Table1Result struct {
+	// N, F document the cluster shape.
+	N, F int
+	// Cells holds the matrix in row-major (attack-major) order.
+	Cells []Table1Cell
+}
+
+// RunTable1 measures how often each selection rule picks a Byzantine
+// proposal under each attack, at the aggregation level (tight correct
+// cluster, unit-scale gradients).
+func RunTable1(w io.Writer, scale Scale, seed uint64) (*Table1Result, error) {
+	const n, f, d = 13, 3, 12
+	trials := pick(scale, 200, 2000)
+	rng := vec.NewRNG(seed)
+
+	attacks := []attack.Strategy{
+		attack.Gaussian{Sigma: 200},
+		attack.Omniscient{Scale: 20},
+		attack.SignFlip{},
+		attack.MedoidCollusion{},
+		attack.Mimic{},
+		attack.LittleIsEnough{},
+		attack.HiddenCoordinate{Coordinate: 3},
+	}
+	rules := []core.Rule{
+		krum.NewKrum(f),
+		krum.NewMultiKrum(f, 4),
+		krum.Medoid{},
+		krum.NewMinimalDiameter(f),
+		krum.NewBulyan(2), // n = 13 allows f ≤ 2 for Bulyan (n ≥ 4f+3)
+	}
+
+	res := &Table1Result{N: n, F: f}
+	for _, atk := range attacks {
+		for _, rule := range rules {
+			sel, ok := rule.(core.Selector)
+			if !ok {
+				continue
+			}
+			hits := 0
+			for trial := 0; trial < trials; trial++ {
+				center := rng.NewNormal(d, 0, 1)
+				correct := make([][]float64, n-f)
+				for i := range correct {
+					v := vec.Clone(center)
+					for j := range v {
+						v[j] += 0.1 * rng.NormFloat64()
+					}
+					correct[i] = v
+				}
+				ctx := &attack.Context{
+					Round: trial, Params: center, Correct: correct, F: f, RNG: rng,
+				}
+				byz := atk.Propose(ctx)
+				proposals := make([][]float64, 0, n)
+				proposals = append(proposals, correct...)
+				proposals = append(proposals, byz...)
+				indices, err := sel.Select(proposals)
+				if err != nil {
+					return nil, fmt.Errorf("%s under %s: %w", rule.Name(), atk.Name(), err)
+				}
+				for _, idx := range indices {
+					if idx >= n-f {
+						hits++
+						break
+					}
+				}
+			}
+			res.Cells = append(res.Cells, Table1Cell{
+				Attack:          atk.Name(),
+				Rule:            rule.Name(),
+				ByzSelectedRate: float64(hits) / float64(trials),
+			})
+		}
+	}
+
+	section(w, "T1 — Byzantine-selection rate per (attack × rule)")
+	fmt.Fprintf(w, "n = %d, f = %d, %d trials per cell; entries are P[rule selects a Byzantine proposal]\n", n, f, trials)
+	fmt.Fprintf(w, "(mimic replays honest values — selecting it is harmless, which the table makes visible)\n\n")
+	tbl := metrics.NewTable("attack", "rule", "byz selected")
+	for _, c := range res.Cells {
+		tbl.AddRowf(c.Attack, c.Rule, c.ByzSelectedRate)
+	}
+	if err := tbl.Render(w); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Cell returns the named cell, or nil when absent.
+func (t *Table1Result) Cell(attackName, ruleName string) *Table1Cell {
+	for i := range t.Cells {
+		if t.Cells[i].Attack == attackName && t.Cells[i].Rule == ruleName {
+			return &t.Cells[i]
+		}
+	}
+	return nil
+}

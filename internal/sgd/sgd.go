@@ -1,0 +1,165 @@
+// Package sgd implements the optimizer substrate of the paper's Section 2:
+// the parameter-server update rule x_{t+1} = x_t − γ_t·F(V_1,...,V_n),
+// learning-rate schedules satisfying the Robbins–Monro conditions of
+// Proposition 4.3 (Σγ_t = ∞, Σγ_t² < ∞), and gradient-norm based
+// stopping diagnostics.
+package sgd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"krum/internal/vec"
+)
+
+// ErrBadSchedule is returned for schedules with invalid parameters.
+var ErrBadSchedule = errors.New("sgd: bad schedule parameter")
+
+// Schedule maps the round index t = 0, 1, 2, ... to the learning rate γ_t.
+type Schedule interface {
+	// Rate returns γ_t for round t.
+	Rate(t int) float64
+	// Name identifies the schedule in experiment logs.
+	Name() string
+}
+
+// Constant is the fixed learning-rate schedule γ_t = Gamma. It does NOT
+// satisfy Σγ_t² < ∞ and is provided for short-horizon experiments where
+// the paper's almost-sure convergence is not the quantity of interest.
+type Constant struct {
+	// Gamma is the rate; must be positive.
+	Gamma float64
+}
+
+var _ Schedule = Constant{}
+
+// Rate implements Schedule.
+func (c Constant) Rate(int) float64 { return c.Gamma }
+
+// Name implements Schedule.
+func (c Constant) Name() string { return fmt.Sprintf("const(%g)", c.Gamma) }
+
+// InverseT is the Robbins–Monro family γ_t = Gamma / (1 + t/T0)^Power.
+// For 0.5 < Power ≤ 1 it satisfies both conditions (ii) of
+// Proposition 4.3: Σγ_t = ∞ and Σγ_t² < ∞.
+type InverseT struct {
+	// Gamma is the initial rate γ_0; must be positive.
+	Gamma float64
+	// Power is the decay exponent; the convergence theorem needs
+	// 0.5 < Power ≤ 1.
+	Power float64
+	// T0 stretches the decay horizon; 0 means 1 (no stretch).
+	T0 float64
+}
+
+var _ Schedule = InverseT{}
+
+// Rate implements Schedule.
+func (s InverseT) Rate(t int) float64 {
+	t0 := s.T0
+	if t0 <= 0 {
+		t0 = 1
+	}
+	return s.Gamma / math.Pow(1+float64(t)/t0, s.Power)
+}
+
+// Name implements Schedule.
+func (s InverseT) Name() string {
+	return fmt.Sprintf("invt(g=%g,p=%g,t0=%g)", s.Gamma, s.Power, s.T0)
+}
+
+// Validate checks the Robbins–Monro admissibility of the schedule.
+func (s InverseT) Validate() error {
+	if s.Gamma <= 0 {
+		return fmt.Errorf("gamma = %g must be positive: %w", s.Gamma, ErrBadSchedule)
+	}
+	if s.Power <= 0.5 || s.Power > 1 {
+		return fmt.Errorf("power = %g outside (0.5, 1]: %w", s.Power, ErrBadSchedule)
+	}
+	return nil
+}
+
+// Step is the piecewise-constant schedule that multiplies the rate by
+// Factor every Every rounds — the "step decay" used by the deep-learning
+// experiments of the full paper.
+type Step struct {
+	// Gamma is the initial rate.
+	Gamma float64
+	// Every is the number of rounds between decays; must be positive.
+	Every int
+	// Factor is the multiplicative decay in (0, 1].
+	Factor float64
+}
+
+var _ Schedule = Step{}
+
+// Rate implements Schedule.
+func (s Step) Rate(t int) float64 {
+	if s.Every <= 0 {
+		return s.Gamma
+	}
+	return s.Gamma * math.Pow(s.Factor, float64(t/s.Every))
+}
+
+// Name implements Schedule.
+func (s Step) Name() string {
+	return fmt.Sprintf("step(g=%g,every=%d,f=%g)", s.Gamma, s.Every, s.Factor)
+}
+
+// Optimizer applies the parameter-server SGD recurrence with an optional
+// classical momentum term (momentum is off, Mu = 0, in all
+// paper-faithful experiments; it exists for the ablation benches).
+// Construct with NewOptimizer.
+type Optimizer struct {
+	schedule Schedule
+	mu       float64
+	velocity []float64
+	t        int
+}
+
+// NewOptimizer returns an optimizer over parameters of dimension d.
+func NewOptimizer(schedule Schedule, d int, mu float64) (*Optimizer, error) {
+	if schedule == nil {
+		return nil, fmt.Errorf("nil schedule: %w", ErrBadSchedule)
+	}
+	if d <= 0 {
+		return nil, fmt.Errorf("dimension %d: %w", d, ErrBadSchedule)
+	}
+	if mu < 0 || mu >= 1 {
+		return nil, fmt.Errorf("momentum %g outside [0, 1): %w", mu, ErrBadSchedule)
+	}
+	return &Optimizer{schedule: schedule, mu: mu, velocity: make([]float64, d)}, nil
+}
+
+// Round returns the number of steps applied so far.
+func (o *Optimizer) Round() int { return o.t }
+
+// CurrentRate returns γ_t for the upcoming step.
+func (o *Optimizer) CurrentRate() float64 { return o.schedule.Rate(o.t) }
+
+// Step applies x ← x − γ_t·(update + momentum) in place and advances t.
+// update is the aggregated choice-function output F(V_1..V_n).
+func (o *Optimizer) Step(x, update []float64) error {
+	if len(x) != len(o.velocity) || len(update) != len(o.velocity) {
+		return fmt.Errorf("dimension mismatch (x=%d, update=%d, want %d): %w",
+			len(x), len(update), len(o.velocity), ErrBadSchedule)
+	}
+	gamma := o.schedule.Rate(o.t)
+	o.t++
+	if o.mu == 0 {
+		vec.Axpy(-gamma, update, x)
+		return nil
+	}
+	for i := range o.velocity {
+		o.velocity[i] = o.mu*o.velocity[i] + update[i]
+	}
+	vec.Axpy(-gamma, o.velocity, x)
+	return nil
+}
+
+// Reset rewinds the optimizer to round zero and clears momentum state.
+func (o *Optimizer) Reset() {
+	o.t = 0
+	vec.Zero(o.velocity)
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"krum/data"
+	"krum/internal/vec"
+	"krum/model"
+)
+
+func TestNewHeterogeneousPoolValidation(t *testing.T) {
+	m, _ := testSetup(t)
+	g1, err := data.NewGaussianMixture(3, 4, 2, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := data.NewGaussianMixture(3, 5, 2, 0.3, 1) // different dim
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHeterogeneousPool(nil, []data.Dataset{g1}, 4, 1); !errors.Is(err, ErrConfig) {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewHeterogeneousPool(m, nil, 4, 1); !errors.Is(err, ErrConfig) {
+		t.Error("no datasets accepted")
+	}
+	if _, err := NewHeterogeneousPool(m, []data.Dataset{g1, nil}, 4, 1); !errors.Is(err, ErrConfig) {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := NewHeterogeneousPool(m, []data.Dataset{g1, g2}, 4, 1); !errors.Is(err, ErrConfig) {
+		t.Error("mismatched dataset shapes accepted")
+	}
+	if _, err := NewHeterogeneousPool(m, []data.Dataset{g1}, 0, 1); !errors.Is(err, ErrConfig) {
+		t.Error("zero batch accepted")
+	}
+}
+
+func TestHeterogeneousPoolWorkersDrawFromOwnDistribution(t *testing.T) {
+	// Build a 4-class mixture and give each of two workers a disjoint
+	// class pair; their gradient estimates must differ systematically
+	// (the skew E7 exploits).
+	base, err := data.NewGaussianMixture(4, 6, 5, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := data.PartitionClasses(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewSoftmaxClassifier(6, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewHeterogeneousPool(m, []data.Dataset{parts[0], parts[1]}, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.N() != 2 || pool.Dim() != m.Dim() {
+		t.Fatalf("pool shape N=%d dim=%d", pool.N(), pool.Dim())
+	}
+	params := m.Params(nil)
+	grads, loss, err := pool.Gradients(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 {
+		t.Errorf("loss %v", loss)
+	}
+	// The two workers see disjoint classes, so their gradients point in
+	// visibly different directions (cosine well below 1).
+	cos := vec.Dot(grads[0], grads[1]) / (vec.Norm(grads[0])*vec.Norm(grads[1]) + 1e-12)
+	if cos > 0.95 {
+		t.Errorf("heterogeneous workers produced near-identical gradients: cos=%v", cos)
+	}
+}
+
+func TestHeterogeneousPoolSharedDatasetMatchesNewPool(t *testing.T) {
+	// With the SAME dataset per worker and the same seed, the
+	// heterogeneous constructor is exactly NewPool.
+	m, ds := testSetup(t)
+	p1, err := NewPool(m, ds, 3, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewHeterogeneousPool(m, []data.Dataset{ds, ds, ds}, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := m.Params(nil)
+	g1, l1, err := p1.Gradients(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, l2, err := p2.Gradients(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Errorf("losses differ: %v vs %v", l1, l2)
+	}
+	for i := range g1 {
+		if !vec.ApproxEqual(g1[i], g2[i], 0) {
+			t.Errorf("worker %d gradients differ", i)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package sim is the in-process substrate for the paper's distributed
+// model (Section 2): a pool of correct workers that, in each synchronous
+// round, receive the broadcast parameter vector, draw an i.i.d.
+// mini-batch, and return gradient estimates. Workers run concurrently
+// (one goroutine each per round, joined before the round returns), hold
+// independent model replicas and independent RNG substreams, and share
+// no mutable state — the same isolation real worker processes would
+// have, minus the network (package transport provides that).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"krum/data"
+	"krum/internal/vec"
+	"krum/model"
+)
+
+// ErrConfig is returned for invalid pool configurations.
+var ErrConfig = errors.New("sim: bad configuration")
+
+// worker is one correct worker's private state.
+type worker struct {
+	m    model.Model
+	rng  *vec.RNG
+	x, y *vec.Dense
+	grad []float64
+	loss float64
+	err  error
+	// ds is this worker's sample stream (shared in the homogeneous
+	// NewPool case, distinct under NewHeterogeneousPool).
+	ds data.Dataset
+}
+
+// Pool simulates n correct workers. Construct with NewPool (i.i.d., the
+// paper's model) or NewHeterogeneousPool (per-worker distributions, the
+// E7 stress test). Pool is not safe for concurrent use by multiple
+// goroutines; one training loop owns it.
+type Pool struct {
+	workers []*worker
+	dim     int
+}
+
+// NewPool creates nWorkers replicas of template, each drawing
+// batch-sized mini-batches from ds. Randomness is split from seed so
+// worker streams are mutually independent and the whole pool is
+// reproducible.
+func NewPool(template model.Model, ds data.Dataset, nWorkers, batch int, seed uint64) (*Pool, error) {
+	if template == nil {
+		return nil, fmt.Errorf("nil model: %w", ErrConfig)
+	}
+	if ds == nil {
+		return nil, fmt.Errorf("nil dataset: %w", ErrConfig)
+	}
+	if nWorkers < 1 {
+		return nil, fmt.Errorf("nWorkers = %d: %w", nWorkers, ErrConfig)
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("batch = %d: %w", batch, ErrConfig)
+	}
+	root := vec.NewRNG(seed)
+	p := &Pool{workers: make([]*worker, nWorkers), dim: template.Dim()}
+	for i := range p.workers {
+		p.workers[i] = &worker{
+			m:    template.Clone(),
+			rng:  root.Split(),
+			x:    vec.NewDense(batch, ds.Dim()),
+			y:    vec.NewDense(batch, ds.OutDim()),
+			grad: make([]float64, template.Dim()),
+			ds:   ds,
+		}
+	}
+	return p, nil
+}
+
+// N returns the number of workers.
+func (p *Pool) N() int { return len(p.workers) }
+
+// Dim returns the parameter dimension.
+func (p *Pool) Dim() int { return p.dim }
+
+// Gradients runs one synchronous round: every worker receives params,
+// draws a fresh mini-batch and computes its gradient estimate
+// V_i = G(x_t, ξ_i). It returns the n proposals and the mean mini-batch
+// loss across workers. The returned slices are owned by the pool and
+// remain valid only until the next call — the engine copies what it
+// keeps (copy-at-boundary).
+func (p *Pool) Gradients(params []float64) ([][]float64, float64, error) {
+	if len(params) != p.dim {
+		return nil, 0, fmt.Errorf("params dim %d, want %d: %w", len(params), p.dim, ErrConfig)
+	}
+	var wg sync.WaitGroup
+	for _, w := range p.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.err = w.round(w.ds, params)
+		}(w)
+	}
+	wg.Wait()
+
+	proposals := make([][]float64, len(p.workers))
+	var lossSum float64
+	for i, w := range p.workers {
+		if w.err != nil {
+			return nil, 0, fmt.Errorf("worker %d: %w", i, w.err)
+		}
+		proposals[i] = w.grad
+		lossSum += w.loss
+	}
+	return proposals, lossSum / float64(len(p.workers)), nil
+}
+
+// round is one worker's round-t computation.
+func (w *worker) round(ds data.Dataset, params []float64) error {
+	if err := w.m.SetParams(params); err != nil {
+		return err
+	}
+	if err := data.FillBatch(ds, w.rng, w.x, w.y); err != nil {
+		return err
+	}
+	loss, err := w.m.Gradient(w.grad, w.x, w.y)
+	if err != nil {
+		return err
+	}
+	w.loss = loss
+	return nil
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"krum/data"
+	"krum/internal/vec"
+	"krum/model"
+)
+
+func testSetup(t *testing.T) (model.Model, data.Dataset) {
+	t.Helper()
+	ds, err := data.NewGaussianMixture(3, 4, 2, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewSoftmaxClassifier(4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ds
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	m, ds := testSetup(t)
+	if _, err := NewPool(nil, ds, 3, 8, 1); !errors.Is(err, ErrConfig) {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewPool(m, nil, 3, 8, 1); !errors.Is(err, ErrConfig) {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := NewPool(m, ds, 0, 8, 1); !errors.Is(err, ErrConfig) {
+		t.Error("zero workers accepted")
+	}
+	if _, err := NewPool(m, ds, 3, 0, 1); !errors.Is(err, ErrConfig) {
+		t.Error("zero batch accepted")
+	}
+}
+
+func TestGradientsShapeAndIndependence(t *testing.T) {
+	m, ds := testSetup(t)
+	p, err := NewPool(m, ds, 5, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 5 || p.Dim() != m.Dim() {
+		t.Fatalf("N=%d Dim=%d", p.N(), p.Dim())
+	}
+	params := m.Params(nil)
+	grads, loss, err := p.Gradients(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grads) != 5 {
+		t.Fatalf("%d proposals", len(grads))
+	}
+	if loss <= 0 {
+		t.Errorf("loss = %v", loss)
+	}
+	// Workers draw independent batches, so their gradient estimates
+	// must differ.
+	for i := 0; i < 5; i++ {
+		if !vec.AllFinite(grads[i]) {
+			t.Errorf("worker %d produced non-finite gradient", i)
+		}
+		for j := i + 1; j < 5; j++ {
+			if vec.ApproxEqual(grads[i], grads[j], 1e-12) {
+				t.Errorf("workers %d and %d returned identical gradients", i, j)
+			}
+		}
+	}
+}
+
+func TestGradientsDeterministicAcrossPools(t *testing.T) {
+	m, ds := testSetup(t)
+	p1, err := NewPool(m, ds, 4, 8, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPool(m, ds, 4, 8, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := m.Params(nil)
+	g1, l1, err := p1.Gradients(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, l2, err := p2.Gradients(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Errorf("losses differ: %v vs %v", l1, l2)
+	}
+	for i := range g1 {
+		if !vec.ApproxEqual(g1[i], g2[i], 0) {
+			t.Errorf("worker %d gradients differ across identically seeded pools", i)
+		}
+	}
+}
+
+func TestGradientsUnbiasedTowardTrueGradient(t *testing.T) {
+	// On a linear regression stream, the average of many worker
+	// estimates approximates the server-side full-batch gradient.
+	ds, err := data.NewLinearRegressionStream(3, 1, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewLinearRegression(3, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(m, ds, 50, 64, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := m.Params(nil)
+	grads, _, err := p.Gradients(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanGrad := make([]float64, m.Dim())
+	vec.Mean(meanGrad, grads)
+	// Reference: one huge batch on the server model.
+	rng := vec.NewRNG(12345)
+	bx, by, err := data.NewBatch(ds, rng, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]float64, m.Dim())
+	if _, err := m.Gradient(ref, bx, by); err != nil {
+		t.Fatal(err)
+	}
+	// Relative direction agreement.
+	cos := vec.Dot(meanGrad, ref) / (vec.Norm(meanGrad)*vec.Norm(ref) + 1e-12)
+	if cos < 0.99 {
+		t.Errorf("mean worker gradient misaligned with true gradient: cos = %v", cos)
+	}
+}
+
+func TestGradientsParamMismatch(t *testing.T) {
+	m, ds := testSetup(t)
+	p, err := NewPool(m, ds, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Gradients(make([]float64, 3)); !errors.Is(err, ErrConfig) {
+		t.Errorf("wrong param length: %v", err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package transport is the real-network substrate for the paper's
+// parameter-server architecture: a length-prefixed binary protocol over
+// TCP, a parameter server that drives synchronous rounds across remote
+// workers, and the worker-side loop. It substitutes for the authors'
+// multi-machine testbed (DESIGN.md §2): the synchronous-round semantics
+// are identical to the in-process simulator, so any experiment can run
+// over loopback or a real network by swapping the GradientSource.
+//
+// Wire format (all integers little endian):
+//
+//	uint32  payload length (bytes after the type byte)
+//	uint8   message type
+//	...     payload
+//
+// Vectors are encoded as uint32 count followed by IEEE-754 bits per
+// element. Messages are capped at MaxMessageSize to bound allocation
+// from untrusted peers.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Message types.
+const (
+	// MsgHello is sent by a worker on connect; payload: uint32 protocol
+	// version.
+	MsgHello = uint8(iota + 1)
+	// MsgWelcome is the server's reply; payload: uint32 assigned worker
+	// id, uint32 parameter dimension.
+	MsgWelcome
+	// MsgRound is the server's broadcast; payload: uint32 round, vector
+	// params.
+	MsgRound
+	// MsgGradient is the worker's reply; payload: uint32 round, float64
+	// loss, vector gradient.
+	MsgGradient
+	// MsgShutdown ends the session; empty payload.
+	MsgShutdown
+)
+
+// ProtocolVersion identifies the wire format.
+const ProtocolVersion = 1
+
+// MaxMessageSize bounds a single message (64 MiB allows d ≈ 8.3M
+// float64 parameters).
+const MaxMessageSize = 64 << 20
+
+// Protocol errors.
+var (
+	// ErrMessageTooLarge is returned when a frame exceeds
+	// MaxMessageSize.
+	ErrMessageTooLarge = errors.New("transport: message exceeds size limit")
+	// ErrBadMessage is returned for malformed frames.
+	ErrBadMessage = errors.New("transport: malformed message")
+	// ErrVersionMismatch is returned when peers disagree on
+	// ProtocolVersion.
+	ErrVersionMismatch = errors.New("transport: protocol version mismatch")
+)
+
+// writeFrame writes a complete [len][type][payload] frame.
+func writeFrame(w io.Writer, msgType uint8, payload []byte) error {
+	if len(payload) > MaxMessageSize {
+		return fmt.Errorf("%d bytes: %w", len(payload), ErrMessageTooLarge)
+	}
+	header := make([]byte, 5)
+	binary.LittleEndian.PutUint32(header, uint32(len(payload)))
+	header[4] = msgType
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("writing frame header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("writing frame payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame, returning its type and payload.
+func readFrame(r io.Reader) (uint8, []byte, error) {
+	header := make([]byte, 5)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return 0, nil, fmt.Errorf("reading frame header: %w", err)
+	}
+	size := binary.LittleEndian.Uint32(header)
+	if size > MaxMessageSize {
+		return 0, nil, fmt.Errorf("%d bytes: %w", size, ErrMessageTooLarge)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("reading frame payload: %w", err)
+	}
+	return header[4], payload, nil
+}
+
+// appendUint32 appends v little endian.
+func appendUint32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+// appendFloat64 appends the IEEE bits of v.
+func appendFloat64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// appendVector appends count + elements.
+func appendVector(b []byte, v []float64) []byte {
+	b = appendUint32(b, uint32(len(v)))
+	for _, x := range v {
+		b = appendFloat64(b, x)
+	}
+	return b
+}
+
+// reader is a cursor over a payload.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) uint32() (uint32, error) {
+	if r.off+4 > len(r.buf) {
+		return 0, fmt.Errorf("truncated uint32 at %d: %w", r.off, ErrBadMessage)
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) float64() (float64, error) {
+	if r.off+8 > len(r.buf) {
+		return 0, fmt.Errorf("truncated float64 at %d: %w", r.off, ErrBadMessage)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) vector() ([]float64, error) {
+	n, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if r.off+8*int(n) > len(r.buf) {
+		return nil, fmt.Errorf("truncated vector of %d at %d: %w", n, r.off, ErrBadMessage)
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+		r.off += 8
+	}
+	return v, nil
+}
+
+func (r *reader) done() error {
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%d trailing bytes: %w", len(r.buf)-r.off, ErrBadMessage)
+	}
+	return nil
+}
+
+// encodeHello builds a MsgHello payload.
+func encodeHello() []byte { return appendUint32(nil, ProtocolVersion) }
+
+func decodeHello(payload []byte) (uint32, error) {
+	r := &reader{buf: payload}
+	v, err := r.uint32()
+	if err != nil {
+		return 0, err
+	}
+	return v, r.done()
+}
+
+// encodeWelcome builds a MsgWelcome payload.
+func encodeWelcome(workerID, dim uint32) []byte {
+	return appendUint32(appendUint32(nil, workerID), dim)
+}
+
+func decodeWelcome(payload []byte) (workerID, dim uint32, err error) {
+	r := &reader{buf: payload}
+	if workerID, err = r.uint32(); err != nil {
+		return 0, 0, err
+	}
+	if dim, err = r.uint32(); err != nil {
+		return 0, 0, err
+	}
+	return workerID, dim, r.done()
+}
+
+// encodeRound builds a MsgRound payload.
+func encodeRound(round uint32, params []float64) []byte {
+	b := make([]byte, 0, 8+8*len(params))
+	b = appendUint32(b, round)
+	return appendVector(b, params)
+}
+
+func decodeRound(payload []byte) (round uint32, params []float64, err error) {
+	r := &reader{buf: payload}
+	if round, err = r.uint32(); err != nil {
+		return 0, nil, err
+	}
+	if params, err = r.vector(); err != nil {
+		return 0, nil, err
+	}
+	return round, params, r.done()
+}
+
+// encodeGradient builds a MsgGradient payload.
+func encodeGradient(round uint32, loss float64, grad []float64) []byte {
+	b := make([]byte, 0, 16+8*len(grad))
+	b = appendUint32(b, round)
+	b = appendFloat64(b, loss)
+	return appendVector(b, grad)
+}
+
+func decodeGradient(payload []byte) (round uint32, loss float64, grad []float64, err error) {
+	r := &reader{buf: payload}
+	if round, err = r.uint32(); err != nil {
+		return 0, 0, nil, err
+	}
+	if loss, err = r.float64(); err != nil {
+		return 0, 0, nil, err
+	}
+	if grad, err = r.vector(); err != nil {
+		return 0, 0, nil, err
+	}
+	return round, loss, grad, r.done()
+}

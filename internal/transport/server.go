@@ -1,0 +1,226 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server-side errors.
+var (
+	// ErrNotEnoughWorkers is returned when the accept phase times out
+	// before the expected number of workers joined.
+	ErrNotEnoughWorkers = errors.New("transport: not enough workers joined")
+	// ErrRoundMismatch is returned when a worker answers for the wrong
+	// round.
+	ErrRoundMismatch = errors.New("transport: round mismatch")
+	// ErrClosed is returned when using a closed pool.
+	ErrClosed = errors.New("transport: pool closed")
+)
+
+// ServerPool is a distsgd.GradientSource whose workers are remote TCP
+// peers. Construct with Listen + AcceptWorkers. The pool implements the
+// paper's synchronous model: each Gradients call is one round —
+// broadcast x_t, await every worker's V_i.
+type ServerPool struct {
+	listener net.Listener
+	dim      int
+	timeout  time.Duration
+
+	mu      sync.Mutex
+	conns   []net.Conn
+	round   uint32
+	closed  bool
+	lastErr error
+}
+
+// ServerOption customizes Listen (functional options per the style
+// guide).
+type ServerOption func(*ServerPool)
+
+// WithRoundTimeout bounds each round's network wait (default 30s).
+func WithRoundTimeout(d time.Duration) ServerOption {
+	return func(s *ServerPool) { s.timeout = d }
+}
+
+// Listen starts a parameter-server listener on addr (e.g.
+// "127.0.0.1:0") for workers computing gradients of dimension dim.
+func Listen(addr string, dim int, opts ...ServerOption) (*ServerPool, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("dim = %d: %w", dim, ErrBadMessage)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listening on %s: %w", addr, err)
+	}
+	s := &ServerPool{listener: ln, dim: dim, timeout: 30 * time.Second}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// Addr returns the bound listener address (use after Listen with port
+// 0).
+func (s *ServerPool) Addr() string { return s.listener.Addr().String() }
+
+// AcceptWorkers blocks until n workers complete the hello handshake or
+// the deadline passes.
+func (s *ServerPool) AcceptWorkers(n int, deadline time.Duration) error {
+	if n <= 0 {
+		return fmt.Errorf("n = %d: %w", n, ErrBadMessage)
+	}
+	if tcp, ok := s.listener.(*net.TCPListener); ok {
+		if err := tcp.SetDeadline(time.Now().Add(deadline)); err != nil {
+			return fmt.Errorf("setting accept deadline: %w", err)
+		}
+	}
+	for len(s.conns) < n {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return fmt.Errorf("%w: accepted %d of %d: %v", ErrNotEnoughWorkers, len(s.conns), n, err)
+		}
+		if err := s.handshake(conn); err != nil {
+			_ = conn.Close()
+			return fmt.Errorf("handshake with %s: %w", conn.RemoteAddr(), err)
+		}
+		s.conns = append(s.conns, conn)
+	}
+	return nil
+}
+
+// handshake validates the hello and assigns a worker id.
+func (s *ServerPool) handshake(conn net.Conn) error {
+	if err := conn.SetDeadline(time.Now().Add(s.timeout)); err != nil {
+		return err
+	}
+	msgType, payload, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if msgType != MsgHello {
+		return fmt.Errorf("expected hello, got type %d: %w", msgType, ErrBadMessage)
+	}
+	version, err := decodeHello(payload)
+	if err != nil {
+		return err
+	}
+	if version != ProtocolVersion {
+		return fmt.Errorf("worker speaks v%d, server v%d: %w", version, ProtocolVersion, ErrVersionMismatch)
+	}
+	return writeFrame(conn, MsgWelcome, encodeWelcome(uint32(len(s.conns)), uint32(s.dim)))
+}
+
+// N implements distsgd.GradientSource.
+func (s *ServerPool) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Dim implements distsgd.GradientSource.
+func (s *ServerPool) Dim() int { return s.dim }
+
+// Gradients implements distsgd.GradientSource: one synchronous round
+// over the network. Worker replies are awaited concurrently; a slow or
+// dead worker fails the round (the paper's model is synchronous — fault
+// tolerance is the aggregation rule's job, not the transport's).
+func (s *ServerPool) Gradients(params []float64) ([][]float64, float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, ErrClosed
+	}
+	if len(params) != s.dim {
+		return nil, 0, fmt.Errorf("params dim %d, want %d: %w", len(params), s.dim, ErrBadMessage)
+	}
+	round := s.round
+	s.round++
+	payload := encodeRound(round, params)
+
+	type reply struct {
+		idx  int
+		grad []float64
+		loss float64
+		err  error
+	}
+	replies := make(chan reply, len(s.conns))
+	var wg sync.WaitGroup
+	for i, conn := range s.conns {
+		wg.Add(1)
+		go func(i int, conn net.Conn) {
+			defer wg.Done()
+			r := reply{idx: i}
+			defer func() { replies <- r }()
+			if r.err = conn.SetDeadline(time.Now().Add(s.timeout)); r.err != nil {
+				return
+			}
+			if r.err = writeFrame(conn, MsgRound, payload); r.err != nil {
+				return
+			}
+			msgType, data, err := readFrame(conn)
+			if err != nil {
+				r.err = err
+				return
+			}
+			if msgType != MsgGradient {
+				r.err = fmt.Errorf("expected gradient, got type %d: %w", msgType, ErrBadMessage)
+				return
+			}
+			gotRound, loss, grad, err := decodeGradient(data)
+			if err != nil {
+				r.err = err
+				return
+			}
+			if gotRound != round {
+				r.err = fmt.Errorf("got round %d, want %d: %w", gotRound, round, ErrRoundMismatch)
+				return
+			}
+			if len(grad) != s.dim {
+				r.err = fmt.Errorf("gradient dim %d, want %d: %w", len(grad), s.dim, ErrBadMessage)
+				return
+			}
+			r.grad, r.loss = grad, loss
+		}(i, conn)
+	}
+	wg.Wait()
+	close(replies)
+
+	grads := make([][]float64, len(s.conns))
+	var lossSum float64
+	for r := range replies {
+		if r.err != nil {
+			return nil, 0, fmt.Errorf("worker %d round %d: %w", r.idx, round, r.err)
+		}
+		grads[r.idx] = r.grad
+		lossSum += r.loss
+	}
+	return grads, lossSum / float64(len(s.conns)), nil
+}
+
+// Close shuts every worker down and releases the listener. Safe to call
+// more than once.
+func (s *ServerPool) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	for _, conn := range s.conns {
+		_ = conn.SetDeadline(time.Now().Add(time.Second))
+		if err := writeFrame(conn, MsgShutdown, nil); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := s.listener.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

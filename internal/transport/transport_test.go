@@ -1,0 +1,455 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"krum/data"
+	"krum/internal/vec"
+	"krum/model"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{1, 2, 3, 4, 5}
+	if err := writeFrame(&buf, MsgRound, payload); err != nil {
+		t.Fatal(err)
+	}
+	msgType, got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != MsgRound || !bytes.Equal(got, payload) {
+		t.Errorf("round trip: type %d payload %v", msgType, got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, MsgShutdown, nil); err != nil {
+		t.Fatal(err)
+	}
+	msgType, payload, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != MsgShutdown || len(payload) != 0 {
+		t.Error("empty frame mangled")
+	}
+}
+
+func TestReadFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	// Forge a header announcing an oversized frame.
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, MsgRound})
+	if _, _, err := readFrame(&buf); !errors.Is(err, ErrMessageTooLarge) {
+		t.Errorf("oversized frame: %v", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{10, 0, 0, 0, MsgRound, 1, 2}) // promises 10 bytes, has 2
+	if _, _, err := readFrame(&buf); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestHelloWelcomeCodec(t *testing.T) {
+	v, err := decodeHello(encodeHello())
+	if err != nil || v != ProtocolVersion {
+		t.Errorf("hello: %v %v", v, err)
+	}
+	id, dim, err := decodeWelcome(encodeWelcome(7, 123))
+	if err != nil || id != 7 || dim != 123 {
+		t.Errorf("welcome: %v %v %v", id, dim, err)
+	}
+	if _, _, err := decodeWelcome([]byte{1}); !errors.Is(err, ErrBadMessage) {
+		t.Error("truncated welcome accepted")
+	}
+	if _, err := decodeHello(append(encodeHello(), 9)); !errors.Is(err, ErrBadMessage) {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestRoundGradientCodecProperty(t *testing.T) {
+	f := func(round uint32, loss float64, raw []float64) bool {
+		p := encodeRound(round, raw)
+		r2, params, err := decodeRound(p)
+		if err != nil || r2 != round || len(params) != len(raw) {
+			return false
+		}
+		g := encodeGradient(round, loss, raw)
+		r3, l2, grad, err := decodeGradient(g)
+		if err != nil || r3 != round || len(grad) != len(raw) {
+			return false
+		}
+		// NaN-safe bitwise comparison.
+		for i := range raw {
+			if raw[i] != params[i] && !(raw[i] != raw[i] && params[i] != params[i]) {
+				return false
+			}
+			if raw[i] != grad[i] && !(raw[i] != raw[i] && grad[i] != grad[i]) {
+				return false
+			}
+		}
+		return l2 == loss || (loss != loss && l2 != l2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeGradientMalformed(t *testing.T) {
+	if _, _, _, err := decodeGradient([]byte{1, 2}); !errors.Is(err, ErrBadMessage) {
+		t.Error("short gradient accepted")
+	}
+	// Vector count promising more than available.
+	p := appendUint32(nil, 0)
+	p = appendFloat64(p, 1)
+	p = appendUint32(p, 99) // claims 99 elements, provides none
+	if _, _, _, err := decodeGradient(p); !errors.Is(err, ErrBadMessage) {
+		t.Error("lying vector length accepted")
+	}
+}
+
+// startCluster spins a server pool and nWorkers loopback workers; the
+// returned cleanup joins every goroutine.
+func startCluster(t *testing.T, nWorkers int, behaviours []WorkerBehaviour) (*ServerPool, func()) {
+	t.Helper()
+	ds, err := data.NewGaussianMixture(3, 4, 3, 0.4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewSoftmaxClassifier(4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := Listen("127.0.0.1:0", m.Dim(), WithRoundTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < nWorkers; i++ {
+		behaviour := BehaviourCorrect
+		if behaviours != nil {
+			behaviour = behaviours[i]
+		}
+		wg.Add(1)
+		go func(i int, b WorkerBehaviour) {
+			defer wg.Done()
+			if _, err := RunWorker(WorkerConfig{
+				Addr:      pool.Addr(),
+				Model:     m,
+				Dataset:   ds,
+				Batch:     8,
+				Behaviour: b,
+				Seed:      uint64(100 + i),
+			}); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i, behaviour)
+	}
+	if err := pool.AcceptWorkers(nWorkers, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return pool, func() {
+		_ = pool.Close()
+		wg.Wait()
+	}
+}
+
+func TestLoopbackRound(t *testing.T) {
+	pool, cleanup := startCluster(t, 4, nil)
+	defer cleanup()
+	if pool.N() != 4 {
+		t.Fatalf("N = %d", pool.N())
+	}
+	params := make([]float64, pool.Dim())
+	grads, loss, err := pool.Gradients(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grads) != 4 {
+		t.Fatalf("%d gradients", len(grads))
+	}
+	if loss <= 0 {
+		t.Errorf("loss %v", loss)
+	}
+	for i, g := range grads {
+		if len(g) != pool.Dim() || !vec.AllFinite(g) {
+			t.Errorf("gradient %d bad", i)
+		}
+	}
+	// Distinct workers → distinct gradients.
+	if vec.ApproxEqual(grads[0], grads[1], 1e-12) {
+		t.Error("two workers returned identical gradients")
+	}
+	// Second round advances.
+	if _, _, err := pool.Gradients(params); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopbackMultipleRoundsConsistency(t *testing.T) {
+	pool, cleanup := startCluster(t, 3, nil)
+	defer cleanup()
+	params := make([]float64, pool.Dim())
+	for round := 0; round < 5; round++ {
+		if _, _, err := pool.Gradients(params); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+func TestByzantineWorkerBehaviours(t *testing.T) {
+	pool, cleanup := startCluster(t, 3, []WorkerBehaviour{
+		BehaviourCorrect, BehaviourGaussian, BehaviourSignFlip,
+	})
+	defer cleanup()
+	params := make([]float64, pool.Dim())
+	grads, _, err := pool.Gradients(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers connect in arrival order, so identify each behaviour by
+	// its signature: honest gradient (unit-ish norm) < signflip
+	// (20× honest norm) < gaussian (σ=200 noise, norm ≈ 200·√d).
+	norms := make([]float64, 3)
+	order := []int{0, 1, 2}
+	for i, g := range grads {
+		norms[i] = vec.Norm(g)
+	}
+	sort.Slice(order, func(a, b int) bool { return norms[order[a]] < norms[order[b]] })
+	correct, flipped, gaussian := grads[order[0]], grads[order[1]], grads[order[2]]
+	if vec.Norm(gaussian) < 100 {
+		t.Errorf("gaussian worker norm %v, want ≫ 100", vec.Norm(gaussian))
+	}
+	// The sign-flip worker's proposal opposes the honest gradient
+	// direction.
+	if dot := vec.Dot(correct, flipped); dot >= 0 {
+		t.Errorf("signflip not opposing: dot = %v", dot)
+	}
+}
+
+func TestGradientsAfterClose(t *testing.T) {
+	pool, cleanup := startCluster(t, 2, nil)
+	cleanup()
+	if _, _, err := pool.Gradients(make([]float64, pool.Dim())); !errors.Is(err, ErrClosed) {
+		t.Errorf("closed pool: %v", err)
+	}
+	// Idempotent close.
+	if err := pool.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestGradientsParamValidation(t *testing.T) {
+	pool, cleanup := startCluster(t, 2, nil)
+	defer cleanup()
+	if _, _, err := pool.Gradients(make([]float64, 1)); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("wrong dim: %v", err)
+	}
+}
+
+func TestAcceptWorkersTimeout(t *testing.T) {
+	pool, err := Listen("127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pool.Close() }()
+	if err := pool.AcceptWorkers(1, 50*time.Millisecond); !errors.Is(err, ErrNotEnoughWorkers) {
+		t.Errorf("timeout: %v", err)
+	}
+}
+
+func TestWorkerConfigValidation(t *testing.T) {
+	ds, err := data.NewGaussianMixture(2, 2, 1, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewSoftmaxClassifier(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWorker(WorkerConfig{Addr: "x", Model: nil, Dataset: ds, Batch: 4}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := RunWorker(WorkerConfig{Addr: "x", Model: m, Dataset: ds, Batch: 0}); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if _, err := RunWorker(WorkerConfig{Addr: "127.0.0.1:1", Model: m, Dataset: ds, Batch: 4, DialTimeout: 100 * time.Millisecond}); err == nil {
+		t.Error("dial to dead port succeeded")
+	}
+}
+
+func TestBehaviourString(t *testing.T) {
+	tests := []struct {
+		b    WorkerBehaviour
+		want string
+	}{
+		{b: BehaviourCorrect, want: "correct"},
+		{b: BehaviourGaussian, want: "gaussian"},
+		{b: BehaviourSignFlip, want: "signflip"},
+		{b: BehaviourLabelFlip, want: "labelflip"},
+		{b: WorkerBehaviour(42), want: "behaviour(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.b.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// Failure injection: a worker process dying mid-training must surface
+// as a round error (the paper's model is synchronous; masking dead
+// workers is the aggregation rule's job only while they keep sending).
+// The raw client's handshake runs in its own goroutine because the
+// server's side of the handshake happens inside AcceptWorkers.
+func TestWorkerDeathFailsRound(t *testing.T) {
+	ds, err := data.NewGaussianMixture(2, 3, 2, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewSoftmaxClassifier(3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := Listen("127.0.0.1:0", m.Dim(), WithRoundTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pool.Close() }()
+
+	var wg sync.WaitGroup
+	// One well-behaved worker.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = RunWorker(WorkerConfig{
+			Addr: pool.Addr(), Model: m, Dataset: ds, Batch: 4, Seed: 1,
+		})
+	}()
+	// One raw peer that handshakes, serves exactly one round, then dies.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", pool.Addr())
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		defer func() { _ = conn.Close() }()
+		if err := writeFrame(conn, MsgHello, encodeHello()); err != nil {
+			t.Errorf("hello: %v", err)
+			return
+		}
+		if _, _, err := readFrame(conn); err != nil { // welcome
+			t.Errorf("welcome: %v", err)
+			return
+		}
+		msgType, payload, err := readFrame(conn)
+		if err != nil || msgType != MsgRound {
+			return
+		}
+		round, params, err := decodeRound(payload)
+		if err != nil {
+			return
+		}
+		grad := make([]float64, len(params))
+		_ = writeFrame(conn, MsgGradient, encodeGradient(round, 0.5, grad))
+		// fail-stop: deferred Close runs now.
+	}()
+
+	if err := pool.AcceptWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	params := make([]float64, pool.Dim())
+	// Round 0 succeeds (both alive).
+	if _, _, err := pool.Gradients(params); err != nil {
+		t.Fatalf("round 0: %v", err)
+	}
+	// Round 1 must fail: the dead worker cannot answer.
+	if _, _, err := pool.Gradients(params); err == nil {
+		t.Fatal("round with dead worker succeeded")
+	}
+	_ = pool.Close()
+	wg.Wait()
+}
+
+// A malicious peer lying about the round number is rejected.
+func TestRoundMismatchRejected(t *testing.T) {
+	pool, err := Listen("127.0.0.1:0", 2, WithRoundTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pool.Close() }()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", pool.Addr())
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		defer func() { _ = conn.Close() }()
+		if err := writeFrame(conn, MsgHello, encodeHello()); err != nil {
+			return
+		}
+		if _, _, err := readFrame(conn); err != nil { // welcome
+			return
+		}
+		msgType, _, err := readFrame(conn)
+		if err != nil || msgType != MsgRound {
+			return
+		}
+		// Answer for round 99 instead of 0.
+		_ = writeFrame(conn, MsgGradient, encodeGradient(99, 0, make([]float64, 2)))
+	}()
+
+	if err := pool.AcceptWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = pool.Gradients(make([]float64, 2))
+	if !errors.Is(err, ErrRoundMismatch) {
+		t.Errorf("err = %v, want ErrRoundMismatch", err)
+	}
+	_ = pool.Close()
+	wg.Wait()
+}
+
+// A peer with the wrong protocol version is refused at handshake.
+func TestVersionMismatchRejected(t *testing.T) {
+	pool, err := Listen("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pool.Close() }()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", pool.Addr())
+		if err != nil {
+			return
+		}
+		defer func() { _ = conn.Close() }()
+		_ = writeFrame(conn, MsgHello, appendUint32(nil, 999))
+		_, _, _ = readFrame(conn) // server closes without welcome
+	}()
+
+	if err := pool.AcceptWorkers(1, 2*time.Second); err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+	_ = pool.Close()
+	wg.Wait()
+}

@@ -1,0 +1,195 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"krum/data"
+	"krum/internal/vec"
+	"krum/model"
+)
+
+// WorkerBehaviour selects how a remote worker computes its proposal.
+// Correct workers return honest mini-batch gradients; the Byzantine
+// behaviours implement the attacks that do not require the omniscient
+// view (a real network adversary cannot read other workers' proposals;
+// omniscient attacks are reproduced on the in-process substrate, see
+// DESIGN.md §2).
+type WorkerBehaviour int
+
+// Supported behaviours (start at 1 per the style guide).
+const (
+	// BehaviourCorrect computes honest gradient estimates.
+	BehaviourCorrect WorkerBehaviour = iota + 1
+	// BehaviourGaussian sends N(0, σ²) garbage (σ = 200), the Figure 4
+	// attack.
+	BehaviourGaussian
+	// BehaviourSignFlip sends the negated local gradient scaled ×20 —
+	// the network-feasible approximation of the omniscient attack
+	// (the local estimate stands in for the global one).
+	BehaviourSignFlip
+	// BehaviourLabelFlip trains on label-flipped data — the
+	// data-poisoning failure of the paper's introduction.
+	BehaviourLabelFlip
+)
+
+// String returns a stable identifier.
+func (b WorkerBehaviour) String() string {
+	switch b {
+	case BehaviourCorrect:
+		return "correct"
+	case BehaviourGaussian:
+		return "gaussian"
+	case BehaviourSignFlip:
+		return "signflip"
+	case BehaviourLabelFlip:
+		return "labelflip"
+	default:
+		return fmt.Sprintf("behaviour(%d)", int(b))
+	}
+}
+
+// WorkerConfig configures RunWorker.
+type WorkerConfig struct {
+	// Addr is the parameter server address.
+	Addr string
+	// Model is the local replica architecture (cloned internally).
+	Model model.Model
+	// Dataset is the worker's sample stream.
+	Dataset data.Dataset
+	// Batch is the mini-batch size.
+	Batch int
+	// Behaviour selects correct vs Byzantine operation; zero value
+	// defaults to BehaviourCorrect.
+	Behaviour WorkerBehaviour
+	// Seed drives the worker's private randomness.
+	Seed uint64
+	// DialTimeout bounds the connect (default 10s).
+	DialTimeout time.Duration
+	// IOTimeout bounds each read/write (default 60s).
+	IOTimeout time.Duration
+}
+
+// RunWorker connects to the parameter server and serves rounds until
+// the server sends MsgShutdown or the connection drops. It returns the
+// number of rounds served. A clean shutdown returns a nil error.
+func RunWorker(cfg WorkerConfig) (int, error) {
+	if cfg.Model == nil || cfg.Dataset == nil {
+		return 0, fmt.Errorf("nil model or dataset: %w", ErrBadMessage)
+	}
+	if cfg.Batch <= 0 {
+		return 0, fmt.Errorf("batch = %d: %w", cfg.Batch, ErrBadMessage)
+	}
+	behaviour := cfg.Behaviour
+	if behaviour == 0 {
+		behaviour = BehaviourCorrect
+	}
+	dialTimeout := cfg.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 10 * time.Second
+	}
+	ioTimeout := cfg.IOTimeout
+	if ioTimeout <= 0 {
+		ioTimeout = 60 * time.Second
+	}
+
+	conn, err := net.DialTimeout("tcp", cfg.Addr, dialTimeout)
+	if err != nil {
+		return 0, fmt.Errorf("dialing %s: %w", cfg.Addr, err)
+	}
+	defer func() { _ = conn.Close() }()
+
+	if err := conn.SetDeadline(time.Now().Add(ioTimeout)); err != nil {
+		return 0, err
+	}
+	if err := writeFrame(conn, MsgHello, encodeHello()); err != nil {
+		return 0, err
+	}
+	msgType, payload, err := readFrame(conn)
+	if err != nil {
+		return 0, err
+	}
+	if msgType != MsgWelcome {
+		return 0, fmt.Errorf("expected welcome, got type %d: %w", msgType, ErrBadMessage)
+	}
+	_, dim, err := decodeWelcome(payload)
+	if err != nil {
+		return 0, err
+	}
+
+	m := cfg.Model.Clone()
+	if m.Dim() != int(dim) {
+		return 0, fmt.Errorf("server dim %d, local model dim %d: %w", dim, m.Dim(), ErrBadMessage)
+	}
+	ds := cfg.Dataset
+	if behaviour == BehaviourLabelFlip {
+		ds = data.LabelFlip{Base: cfg.Dataset}
+	}
+	rng := vec.NewRNG(cfg.Seed)
+	x := vec.NewDense(cfg.Batch, ds.Dim())
+	y := vec.NewDense(cfg.Batch, ds.OutDim())
+	grad := make([]float64, m.Dim())
+
+	rounds := 0
+	for {
+		if err := conn.SetDeadline(time.Now().Add(ioTimeout)); err != nil {
+			return rounds, err
+		}
+		msgType, payload, err := readFrame(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return rounds, nil // server went away after serving; treat as shutdown
+			}
+			return rounds, err
+		}
+		switch msgType {
+		case MsgShutdown:
+			return rounds, nil
+		case MsgRound:
+			round, params, err := decodeRound(payload)
+			if err != nil {
+				return rounds, err
+			}
+			loss, err := computeProposal(m, ds, behaviour, rng, params, x, y, grad)
+			if err != nil {
+				return rounds, err
+			}
+			if err := writeFrame(conn, MsgGradient, encodeGradient(round, loss, grad)); err != nil {
+				return rounds, err
+			}
+			rounds++
+		default:
+			return rounds, fmt.Errorf("unexpected message type %d: %w", msgType, ErrBadMessage)
+		}
+	}
+}
+
+// computeProposal fills grad with the behaviour's proposal and returns
+// the reported loss.
+func computeProposal(m model.Model, ds data.Dataset, behaviour WorkerBehaviour, rng *vec.RNG, params []float64, x, y *vec.Dense, grad []float64) (float64, error) {
+	switch behaviour {
+	case BehaviourGaussian:
+		rng.FillNormal(grad, 0, 200)
+		return 0, nil
+	case BehaviourCorrect, BehaviourSignFlip, BehaviourLabelFlip:
+		if err := m.SetParams(params); err != nil {
+			return 0, err
+		}
+		if err := data.FillBatch(ds, rng, x, y); err != nil {
+			return 0, err
+		}
+		loss, err := m.Gradient(grad, x, y)
+		if err != nil {
+			return 0, err
+		}
+		if behaviour == BehaviourSignFlip {
+			vec.Scale(-20, grad)
+		}
+		return loss, nil
+	default:
+		return 0, fmt.Errorf("unknown behaviour %d: %w", behaviour, ErrBadMessage)
+	}
+}

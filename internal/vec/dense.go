@@ -1,0 +1,140 @@
+package vec
+
+import "fmt"
+
+// Dense is a row-major dense matrix of float64. It is the workhorse of
+// the from-scratch neural-network substrate (package model): forward and
+// backward passes are expressed as a handful of Dense products.
+//
+// The zero value is an empty 0×0 matrix; construct with NewDense to get a
+// usable shape.
+type Dense struct {
+	Rows, Cols int
+	// Data holds Rows*Cols values, row major: element (i, j) lives at
+	// Data[i*Cols+j].
+	Data []float64
+}
+
+// NewDense allocates a zeroed rows×cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vec: NewDense(%d, %d): negative dimension", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewDenseFrom wraps an existing backing slice (no copy). It panics if
+// len(data) != rows*cols.
+func NewDenseFrom(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("vec: NewDenseFrom: len(data)=%d, want %d", len(data), rows*cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	return &Dense{Rows: m.Rows, Cols: m.Cols, Data: Clone(m.Data)}
+}
+
+// Zero sets all elements to 0.
+func (m *Dense) Zero() { Zero(m.Data) }
+
+// MatMul computes dst = a·b where a is (r×k) and b is (k×c); dst must be
+// (r×c) and must not alias a or b. The k-loop is innermost over
+// contiguous rows of b, which keeps the kernel cache-friendly without
+// resorting to blocking — sufficient for the model sizes in this
+// repository (d up to a few hundred thousand parameters).
+func MatMul(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("vec: MatMul: shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulATB computes dst = aᵀ·b where a is (k×r) and b is (k×c); dst must
+// be (r×c). Used for weight-gradient accumulation in backprop
+// (dW = xᵀ·dy) without materializing transposes.
+func MatMulATB(dst, a, b *Dense) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("vec: MatMulATB: shape mismatch (%dx%d)ᵀ·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulABT computes dst = a·bᵀ where a is (r×k) and b is (c×k); dst must
+// be (r×c). Used for input-gradient propagation in backprop
+// (dx = dy·Wᵀ).
+func MatMulABT(dst, a, b *Dense) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("vec: MatMulABT: shape mismatch (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			drow[j] = Dot(arow, b.Row(j))
+		}
+	}
+}
+
+// AddRowVector adds the row vector v to every row of m in place
+// (broadcast bias addition).
+func AddRowVector(m *Dense, v []float64) {
+	checkLen("AddRowVector", m.Cols, len(v))
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, b := range v {
+			row[j] += b
+		}
+	}
+}
+
+// SumRows accumulates the column-wise sum of m into dst (len m.Cols) —
+// the bias-gradient reduction in backprop.
+func SumRows(dst []float64, m *Dense) {
+	checkLen("SumRows", m.Cols, len(dst))
+	Zero(dst)
+	for i := 0; i < m.Rows; i++ {
+		Axpy(1, m.Row(i), dst)
+	}
+}

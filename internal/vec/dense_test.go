@@ -1,0 +1,147 @@
+package vec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulBasic(t *testing.T) {
+	a := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewDenseFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	dst := NewDense(2, 2)
+	MatMul(dst, a, b)
+	want := []float64{58, 64, 139, 154}
+	if !ApproxEqual(dst.Data, want, 1e-12) {
+		t.Errorf("MatMul = %v, want %v", dst.Data, want)
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMul with bad shapes did not panic")
+		}
+	}()
+	MatMul(NewDense(2, 2), NewDense(2, 3), NewDense(2, 2))
+}
+
+// Oracle implementations used by the property tests.
+func naiveMatMul(a, b *Dense) *Dense {
+	dst := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+	return dst
+}
+
+func transpose(m *Dense) *Dense {
+	out := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+func randomDense(rng *RNG, rows, cols int) *Dense {
+	m := NewDense(rows, cols)
+	rng.FillNormal(m.Data, 0, 1)
+	return m
+}
+
+func TestMatMulMatchesNaiveProperty(t *testing.T) {
+	f := func(seed uint64, r8, k8, c8 uint8) bool {
+		r, k, c := int(r8%6)+1, int(k8%6)+1, int(c8%6)+1
+		rng := NewRNG(seed)
+		a := randomDense(rng, r, k)
+		b := randomDense(rng, k, c)
+		dst := NewDense(r, c)
+		MatMul(dst, a, b)
+		return ApproxEqual(dst.Data, naiveMatMul(a, b).Data, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulATBMatchesTranspose(t *testing.T) {
+	f := func(seed uint64, r8, k8, c8 uint8) bool {
+		r, k, c := int(r8%5)+1, int(k8%5)+1, int(c8%5)+1
+		rng := NewRNG(seed)
+		a := randomDense(rng, k, r) // aᵀ is r×k
+		b := randomDense(rng, k, c)
+		dst := NewDense(r, c)
+		MatMulATB(dst, a, b)
+		return ApproxEqual(dst.Data, naiveMatMul(transpose(a), b).Data, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulABTMatchesTranspose(t *testing.T) {
+	f := func(seed uint64, r8, k8, c8 uint8) bool {
+		r, k, c := int(r8%5)+1, int(k8%5)+1, int(c8%5)+1
+		rng := NewRNG(seed)
+		a := randomDense(rng, r, k)
+		b := randomDense(rng, c, k) // bᵀ is k×c
+		dst := NewDense(r, c)
+		MatMulABT(dst, a, b)
+		return ApproxEqual(dst.Data, naiveMatMul(a, transpose(b)).Data, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddRowVectorAndSumRows(t *testing.T) {
+	m := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	AddRowVector(m, []float64{10, 20, 30})
+	want := []float64{11, 22, 33, 14, 25, 36}
+	if !ApproxEqual(m.Data, want, 0) {
+		t.Errorf("AddRowVector = %v, want %v", m.Data, want)
+	}
+	sums := make([]float64, 3)
+	SumRows(sums, m)
+	if !ApproxEqual(sums, []float64{25, 47, 69}, 0) {
+		t.Errorf("SumRows = %v", sums)
+	}
+}
+
+func TestDenseCloneRowSet(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 5)
+	if m.At(0, 1) != 5 {
+		t.Error("Set/At mismatch")
+	}
+	c := m.Clone()
+	c.Set(0, 1, 9)
+	if m.At(0, 1) != 5 {
+		t.Error("Clone shares storage")
+	}
+	row := m.Row(0)
+	row[0] = 7
+	if m.At(0, 0) != 7 {
+		t.Error("Row does not alias storage")
+	}
+	m.Zero()
+	if m.At(0, 1) != 0 {
+		t.Error("Zero did not clear")
+	}
+}
+
+func TestNewDenseFromValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDenseFrom with wrong length did not panic")
+		}
+	}()
+	NewDenseFrom(2, 2, []float64{1, 2, 3})
+}

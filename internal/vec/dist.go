@@ -1,0 +1,155 @@
+package vec
+
+// DistanceMatrix holds the full symmetric matrix of pairwise squared
+// Euclidean distances between n vectors, stored densely (n×n, row major).
+// The diagonal is zero. It is the O(n²·d) object at the heart of Krum
+// (Lemma 4.1): building it dominates the aggregation cost.
+type DistanceMatrix struct {
+	n int
+	d []float64 // n*n squared distances, row major
+}
+
+// NewDistanceMatrix computes all pairwise squared distances between the
+// given vectors. Cost: exactly n·(n−1)/2 distance evaluations of d
+// multiply-adds each, i.e. Θ(n²·d).
+func NewDistanceMatrix(vectors [][]float64) *DistanceMatrix {
+	n := len(vectors)
+	m := &DistanceMatrix{n: n, d: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist := Dist2(vectors[i], vectors[j])
+			m.d[i*n+j] = dist
+			m.d[j*n+i] = dist
+		}
+	}
+	return m
+}
+
+// N returns the number of vectors the matrix was built from.
+func (m *DistanceMatrix) N() int { return m.n }
+
+// At returns the squared distance between vectors i and j.
+func (m *DistanceMatrix) At(i, j int) float64 { return m.d[i*m.n+j] }
+
+// Row returns the row of squared distances from vector i to every vector
+// (including the zero self-distance). The returned slice aliases internal
+// storage and must not be modified.
+func (m *DistanceMatrix) Row(i int) []float64 { return m.d[i*m.n : (i+1)*m.n] }
+
+// SumKSmallestExcludingSelf returns the sum of the k smallest squared
+// distances from vector i to the other vectors (the self-distance is
+// excluded). This is exactly the Krum score s(i) when k = n − f − 2.
+//
+// The selection runs in O(n·k) time with no allocation beyond a k-sized
+// scratch buffer, keeping the overall Krum cost at O(n²·(d + n)) ≈
+// O(n²·d) for the high-dimensional regime the paper targets.
+func (m *DistanceMatrix) SumKSmallestExcludingSelf(i, k int, scratch []float64) float64 {
+	row := m.Row(i)
+	return sumKSmallest(row, i, k, scratch)
+}
+
+// sumKSmallest sums the k smallest entries of row, skipping index skip.
+// scratch must have capacity ≥ k; it is used as a simple binary max-heap
+// of the current k smallest values.
+func sumKSmallest(row []float64, skip, k int, scratch []float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	heap := scratch[:0]
+	for j, v := range row {
+		if j == skip {
+			continue
+		}
+		if len(heap) < k {
+			heap = append(heap, v)
+			siftUp(heap, len(heap)-1)
+			continue
+		}
+		if v < heap[0] {
+			heap[0] = v
+			siftDown(heap, 0)
+		}
+	}
+	var s float64
+	for _, v := range heap {
+		s += v
+	}
+	return s
+}
+
+// KSmallestIndices returns the indices of the k smallest entries of vals,
+// skipping index skip (pass skip = -1 to consider every index). Ties are
+// broken in favour of the smaller index, matching the paper's footnote 3
+// tie-break rule. The result is sorted by (value, index).
+func KSmallestIndices(vals []float64, skip, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	type entry struct {
+		v float64
+		i int
+	}
+	// Insertion into a bounded, sorted slice: O(n·k). k is small
+	// relative to n in all our uses (k ≤ n), and this keeps the
+	// tie-break deterministic without a full sort.
+	best := make([]entry, 0, k)
+	for i, v := range vals {
+		if i == skip {
+			continue
+		}
+		if len(best) == k && !lessEntry(v, i, best[k-1].v, best[k-1].i) {
+			continue
+		}
+		pos := len(best)
+		for pos > 0 && lessEntry(v, i, best[pos-1].v, best[pos-1].i) {
+			pos--
+		}
+		if len(best) < k {
+			best = append(best, entry{})
+		}
+		copy(best[pos+1:], best[pos:len(best)-1])
+		best[pos] = entry{v: v, i: i}
+	}
+	out := make([]int, len(best))
+	for i, e := range best {
+		out[i] = e.i
+	}
+	return out
+}
+
+func lessEntry(v1 float64, i1 int, v2 float64, i2 int) bool {
+	if v1 != v2 {
+		return v1 < v2
+	}
+	return i1 < i2
+}
+
+func siftUp(h []float64, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] >= h[i] {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func siftDown(h []float64, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h[l] > h[largest] {
+			largest = l
+		}
+		if r < n && h[r] > h[largest] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}

@@ -1,0 +1,51 @@
+package vec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// NewDistanceMatrixParallel computes the same matrix as
+// NewDistanceMatrix using up to workers goroutines (0 means
+// GOMAXPROCS). The n·(n−1)/2 pairs are strided across workers; each
+// pair's O(d) inner product dominates, so speedup is close to linear in
+// the deep-learning regime (d ≫ n) the paper targets — Lemma 4.1's cost
+// lives almost entirely here.
+func NewDistanceMatrixParallel(vectors [][]float64, workers int) *DistanceMatrix {
+	n := len(vectors)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Small inputs: the goroutine overhead dwarfs the work.
+	if workers == 1 || n < 4 {
+		return NewDistanceMatrix(vectors)
+	}
+	m := &DistanceMatrix{n: n, d: make([]float64, n*n)}
+	// Enumerate the upper-triangle pairs once so strided assignment
+	// balances load regardless of row length.
+	type pair struct{ i, j int }
+	pairs := make([]pair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := w; k < len(pairs); k += workers {
+				p := pairs[k]
+				dist := Dist2(vectors[p.i], vectors[p.j])
+				m.d[p.i*n+p.j] = dist
+				m.d[p.j*n+p.i] = dist
+			}
+		}(w)
+	}
+	wg.Wait()
+	return m
+}

@@ -1,0 +1,196 @@
+package vec
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceMatrixBasic(t *testing.T) {
+	vs := [][]float64{{0, 0}, {3, 4}, {0, 1}}
+	m := NewDistanceMatrix(vs)
+	if m.N() != 3 {
+		t.Fatalf("N = %d, want 3", m.N())
+	}
+	wants := [][3]float64{
+		{0, 25, 1},
+		{25, 0, 18},
+		{1, 18, 0},
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if got := m.At(i, j); math.Abs(got-wants[i][j]) > 1e-12 {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, got, wants[i][j])
+			}
+		}
+	}
+}
+
+func TestDistanceMatrixSymmetryProperty(t *testing.T) {
+	f := func(seed uint64, n8, d8 uint8) bool {
+		n := int(n8%8) + 2
+		d := int(d8%5) + 1
+		rng := NewRNG(seed)
+		vs := make([][]float64, n)
+		for i := range vs {
+			vs[i] = rng.NewNormal(d, 0, 1)
+		}
+		m := NewDistanceMatrix(vs)
+		for i := 0; i < n; i++ {
+			if m.At(i, i) != 0 {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if m.At(i, j) != m.At(j, i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumKSmallestExcludingSelf(t *testing.T) {
+	vs := [][]float64{{0}, {1}, {3}, {10}}
+	m := NewDistanceMatrix(vs)
+	scratch := make([]float64, 4)
+	// Distances² from vector 0: 1, 9, 100.
+	tests := []struct {
+		k    int
+		want float64
+	}{
+		{k: 0, want: 0},
+		{k: 1, want: 1},
+		{k: 2, want: 10},
+		{k: 3, want: 110},
+	}
+	for _, tt := range tests {
+		if got := m.SumKSmallestExcludingSelf(0, tt.k, scratch); got != tt.want {
+			t.Errorf("k=%d: got %v, want %v", tt.k, got, tt.want)
+		}
+	}
+}
+
+// Property: SumKSmallestExcludingSelf agrees with a sort-based oracle.
+func TestSumKSmallestMatchesSortOracle(t *testing.T) {
+	f := func(seed uint64, n8, k8 uint8) bool {
+		n := int(n8%10) + 3
+		k := int(k8) % n
+		rng := NewRNG(seed)
+		vs := make([][]float64, n)
+		for i := range vs {
+			vs[i] = rng.NewNormal(4, 0, 10)
+		}
+		m := NewDistanceMatrix(vs)
+		scratch := make([]float64, k+1)
+		for i := 0; i < n; i++ {
+			got := m.SumKSmallestExcludingSelf(i, k, scratch)
+			row := append([]float64(nil), m.Row(i)...)
+			row = append(row[:i], row[i+1:]...)
+			sort.Float64s(row)
+			var want float64
+			for _, v := range row[:k] {
+				want += v
+			}
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKSmallestIndices(t *testing.T) {
+	vals := []float64{5, 1, 3, 1, 0}
+	tests := []struct {
+		name string
+		skip int
+		k    int
+		want []int
+	}{
+		{name: "k=0", skip: -1, k: 0, want: nil},
+		{name: "k=2 no skip", skip: -1, k: 2, want: []int{4, 1}},
+		{name: "tie broken by index", skip: -1, k: 3, want: []int{4, 1, 3}},
+		{name: "skip smallest", skip: 4, k: 2, want: []int{1, 3}},
+		{name: "k larger than n", skip: -1, k: 10, want: []int{4, 1, 3, 2, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := KSmallestIndices(vals, tt.skip, tt.k)
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Fatalf("got %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+// Property: KSmallestIndices returns indices whose values are the k
+// smallest in multiset terms.
+func TestKSmallestIndicesOracle(t *testing.T) {
+	f := func(seed uint64, n8, k8 uint8) bool {
+		n := int(n8%12) + 1
+		k := int(k8)%n + 1
+		rng := NewRNG(seed)
+		vals := rng.NewNormal(n, 0, 5)
+		got := KSmallestIndices(vals, -1, k)
+		if len(got) != k {
+			return false
+		}
+		gotVals := make([]float64, k)
+		for i, idx := range got {
+			gotVals[i] = vals[idx]
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		for i := 0; i < k; i++ {
+			if gotVals[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceMatrixParallelMatchesSerial(t *testing.T) {
+	rng := NewRNG(42)
+	for _, n := range []int{2, 3, 7, 16} {
+		for _, workers := range []int{0, 1, 2, 8, 100} {
+			vs := make([][]float64, n)
+			for i := range vs {
+				vs[i] = rng.NewNormal(24, 0, 3)
+			}
+			serial := NewDistanceMatrix(vs)
+			par := NewDistanceMatrixParallel(vs, workers)
+			if par.N() != serial.N() {
+				t.Fatalf("n=%d workers=%d: N mismatch", n, workers)
+			}
+			for i := 0; i < n; i++ {
+				if !ApproxEqual(par.Row(i), serial.Row(i), 0) {
+					t.Fatalf("n=%d workers=%d: row %d differs", n, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDistanceMatrixParallelSingleVector(t *testing.T) {
+	m := NewDistanceMatrixParallel([][]float64{{1, 2}}, 4)
+	if m.N() != 1 || m.At(0, 0) != 0 {
+		t.Error("single-vector matrix wrong")
+	}
+}

@@ -1,0 +1,194 @@
+// Package krum is a Go implementation of the Krum Byzantine-tolerant
+// gradient aggregation rule and of the distributed SGD protocol it
+// protects, reproducing "Brief Announcement: Byzantine-Tolerant Machine
+// Learning" (Blanchard, El Mhamdi, Guerraoui, Stainer — PODC 2017; full
+// version "Machine Learning with Adversaries", NeurIPS 2017).
+//
+// # The problem
+//
+// Distributed SGD deployments aggregate worker gradient estimates by
+// averaging. Lemma 3.1 of the paper shows that ANY linear aggregation is
+// defenceless: one Byzantine worker can steer the aggregate to an
+// arbitrary vector and prevent convergence. Krum replaces the average
+// with a non-linear, distance-based selection that provably tolerates f
+// Byzantine workers whenever n > 2f + 2.
+//
+// # The rule
+//
+// Given proposals V_1, ..., V_n, Krum assigns each worker the score
+//
+//	s(i) = Σ_{i→j} ‖V_i − V_j‖²
+//
+// summed over the n − f − 2 proposals closest to V_i, and outputs the
+// proposal with the minimal score (ties to the smallest worker id). The
+// cost is O(n²·d) — Lemma 4.1 — versus the exponential cost of
+// majority-subset methods (implemented here as NewMinimalDiameter for
+// comparison).
+//
+// # Quick start
+//
+//	rule := krum.NewKrum(f)              // tolerate f Byzantine workers
+//	out := make([]float64, d)
+//	if err := rule.Aggregate(out, proposals); err != nil { ... }
+//
+// or train end to end against an attack with package
+// krum/distsgd:
+//
+//	res, err := distsgd.Run(distsgd.Config{
+//		Model:    m, Dataset: ds,
+//		Rule:     krum.NewKrum(3),
+//		N:        15, F: 3,
+//		Attack:   attack.Omniscient{},
+//		BatchSize: 32, Rounds: 300,
+//		Schedule: krum.ScheduleInverseT(0.1, 0.75),
+//	})
+//
+// See the examples/ directory for complete programs and EXPERIMENTS.md
+// for the reproduction of every figure of the paper's evaluation.
+package krum
+
+import (
+	"krum/internal/core"
+	"krum/internal/sgd"
+)
+
+// Rule is the parameter server's choice function F (paper Section 2).
+// All aggregation rules in this package implement it.
+type Rule = core.Rule
+
+// Selector is implemented by rules that output one of (or a subset of)
+// their inputs; Select exposes the chosen indices for
+// selection-histogram experiments.
+type Selector = core.Selector
+
+// Adversary generates Byzantine proposals for resilience verification
+// (see VerifyResilience).
+type Adversary = core.Adversary
+
+// ResilienceConfig parameterizes VerifyResilience.
+type ResilienceConfig = core.ResilienceConfig
+
+// ResilienceReport is the Monte-Carlo estimate of the Definition 3.2
+// conditions.
+type ResilienceReport = core.ResilienceReport
+
+// Krum is the paper's choice function (Section 4).
+type Krum = core.Krum
+
+// MultiKrum averages the m best-scored proposals (full paper, Figure 6).
+type MultiKrum = core.MultiKrum
+
+// Average is the classical (non-resilient) barycentric rule.
+type Average = core.Average
+
+// Linear is the general linear rule of Lemma 3.1.
+type Linear = core.Linear
+
+// Medoid is the distance-based rule of Section 4 (tolerates only one
+// Byzantine worker; see Figure 2).
+type Medoid = core.Medoid
+
+// CoordMedian is the coordinate-wise median baseline.
+type CoordMedian = core.CoordMedian
+
+// TrimmedMean is the coordinate-wise trimmed-mean baseline.
+type TrimmedMean = core.TrimmedMean
+
+// GeoMedian is the Weiszfeld geometric-median baseline.
+type GeoMedian = core.GeoMedian
+
+// MinimalDiameter is the exponential majority-based rule sketched in
+// the paper's introduction.
+type MinimalDiameter = core.MinimalDiameter
+
+// Bulyan is the authors' follow-up defense (ICML 2018) combining
+// iterated Krum with a coordinate-wise trimmed mean; it closes Krum's
+// hidden-single-coordinate vulnerability and requires n ≥ 4f + 3.
+type Bulyan = core.Bulyan
+
+// FiniteGuard wraps any rule with a pre-filter replacing non-finite
+// (NaN/Inf) proposals with zero vectors, so one malformed Byzantine
+// message cannot poison the distance computations of the inner rule.
+type FiniteGuard = core.FiniteGuard
+
+// ClippedMean is the norm-clipping baseline: proposals rescaled to the
+// median norm, then averaged. Defeats magnitude attacks at O(n·d) but
+// offers no directional guarantee (fails Definition 3.2 against
+// sign-flipping adversaries) — an ablation baseline, not a defense.
+type ClippedMean = core.ClippedMean
+
+// KrumK is the research/ablation variant of Krum with an explicit
+// neighbour count K instead of the paper's n − f − 2. It demonstrates
+// why that value is the right one (large K degenerates to the medoid,
+// K ≤ f−1 is captured by an identical-clique collusion); use Krum for
+// real deployments.
+type KrumK = core.KrumK
+
+// Sentinel errors re-exported from the core implementation.
+var (
+	// ErrNoVectors is returned when a rule receives zero proposals.
+	ErrNoVectors = core.ErrNoVectors
+	// ErrDimensionMismatch is returned on inconsistent dimensions.
+	ErrDimensionMismatch = core.ErrDimensionMismatch
+	// ErrTooFewWorkers is returned when n is too small for the
+	// declared f.
+	ErrTooFewWorkers = core.ErrTooFewWorkers
+	// ErrBadParameter is returned for out-of-range rule parameters.
+	ErrBadParameter = core.ErrBadParameter
+)
+
+// NewKrum returns the Krum rule tolerating f Byzantine workers
+// (requires n ≥ f + 3 proposals; the Proposition 4.2 guarantee
+// additionally needs n > 2f + 2).
+func NewKrum(f int) *Krum { return core.NewKrum(f) }
+
+// NewMultiKrum returns the m-Krum rule: the average of the m proposals
+// with the smallest Krum scores.
+func NewMultiKrum(f, m int) *MultiKrum { return core.NewMultiKrum(f, m) }
+
+// NewLinear returns the linear rule Σ λ_i·V_i of Lemma 3.1; all
+// coefficients must be non-zero.
+func NewLinear(weights []float64) (*Linear, error) { return core.NewLinear(weights) }
+
+// NewMinimalDiameter returns the exponential minimal-diameter subset
+// rule excluding f proposals.
+func NewMinimalDiameter(f int) *MinimalDiameter { return core.NewMinimalDiameter(f) }
+
+// NewBulyan returns the Bulyan rule tolerating f Byzantine workers
+// (requires n ≥ 4f + 3 proposals).
+func NewBulyan(f int) *Bulyan { return core.NewBulyan(f) }
+
+// Eta returns η(n, f) of Proposition 4.2, the constant relating the
+// gradient-estimator deviation to the resilience angle via
+// sin α = η(n,f)·√d·σ/‖g‖.
+func Eta(n, f int) (float64, error) { return core.Eta(n, f) }
+
+// VerifyResilience Monte-Carlo checks the (α, f)-Byzantine-resilience
+// conditions of Definition 3.2 for an arbitrary rule and adversary.
+func VerifyResilience(cfg ResilienceConfig) (*ResilienceReport, error) {
+	return core.VerifyResilience(cfg)
+}
+
+// Schedule is a learning-rate schedule γ_t.
+type Schedule = sgd.Schedule
+
+// ScheduleConstant returns the fixed schedule γ_t = gamma.
+func ScheduleConstant(gamma float64) Schedule { return sgd.Constant{Gamma: gamma} }
+
+// ScheduleInverseT returns γ_t = gamma/(1+t)^power, which satisfies the
+// Robbins–Monro conditions of Proposition 4.3 for 0.5 < power ≤ 1.
+func ScheduleInverseT(gamma, power float64) Schedule {
+	return sgd.InverseT{Gamma: gamma, Power: power}
+}
+
+// ScheduleInverseTStretched is ScheduleInverseT with a decay horizon:
+// γ_t = gamma/(1+t/t0)^power.
+func ScheduleInverseTStretched(gamma, power, t0 float64) Schedule {
+	return sgd.InverseT{Gamma: gamma, Power: power, T0: t0}
+}
+
+// ScheduleStep returns the step-decay schedule used by the deep
+// experiments: rate gamma multiplied by factor every `every` rounds.
+func ScheduleStep(gamma float64, every int, factor float64) Schedule {
+	return sgd.Step{Gamma: gamma, Every: every, Factor: factor}
+}

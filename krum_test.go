@@ -1,0 +1,154 @@
+package krum_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"krum"
+	"krum/internal/vec"
+)
+
+// The root-package tests exercise the re-exported public API exactly as
+// a downstream user would, including the runnable godoc examples.
+
+func ExampleKrum() {
+	proposals := [][]float64{
+		{1.0, 1.0}, {1.1, 0.9}, {0.9, 1.1}, {1.0, 0.9}, {0.95, 1.05},
+		{100, -100}, // Byzantine
+	}
+	rule := krum.NewKrum(1)
+	out := make([]float64, 2)
+	if err := rule.Aggregate(out, proposals); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.2f\n", out)
+	// Output: [1.00 1.00]
+}
+
+func ExampleMultiKrum() {
+	proposals := [][]float64{
+		{2, 0}, {2.2, 0}, {1.8, 0}, {2.1, 0}, {1.9, 0},
+		{-500, 3}, // Byzantine
+	}
+	rule := krum.NewMultiKrum(1, 3) // average the 3 best-scored
+	out := make([]float64, 2)
+	if err := rule.Aggregate(out, proposals); err != nil {
+		panic(err)
+	}
+	// The three selected proposals are all from the tight cluster.
+	fmt.Printf("%.0f\n", out[1])
+	// Output: 0
+}
+
+func ExampleEta() {
+	eta, err := krum.Eta(15, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("η(15, 3) = %.2f\n", eta)
+	// Output: η(15, 3) = 7.80
+}
+
+func TestPublicAPIAggregationRules(t *testing.T) {
+	rng := vec.NewRNG(1)
+	const n, d, f = 11, 6, 2
+	proposals := make([][]float64, n)
+	for i := range proposals {
+		proposals[i] = rng.NewNormal(d, 1, 0.1)
+	}
+	rules := []krum.Rule{
+		krum.NewKrum(f),
+		krum.NewMultiKrum(f, 4),
+		krum.Average{},
+		krum.Medoid{},
+		krum.CoordMedian{},
+		krum.TrimmedMean{Trim: f},
+		krum.GeoMedian{},
+		krum.NewMinimalDiameter(f),
+		krum.NewBulyan(f),
+		krum.ClippedMean{},
+		krum.FiniteGuard{Inner: krum.NewKrum(f)},
+	}
+	for _, rule := range rules {
+		t.Run(rule.Name(), func(t *testing.T) {
+			out := make([]float64, d)
+			if err := rule.Aggregate(out, proposals); err != nil {
+				t.Fatal(err)
+			}
+			// On a benign tight cluster every rule lands near the mean.
+			mean := make([]float64, d)
+			vec.Mean(mean, proposals)
+			if vec.Dist(out, mean) > 1 {
+				t.Errorf("%s output %v far from cluster mean", rule.Name(), out)
+			}
+		})
+	}
+}
+
+func TestPublicErrorsAreMatchable(t *testing.T) {
+	out := make([]float64, 2)
+	if err := krum.NewKrum(0).Aggregate(out, nil); !errors.Is(err, krum.ErrNoVectors) {
+		t.Errorf("ErrNoVectors not surfaced: %v", err)
+	}
+	if err := krum.NewKrum(5).Aggregate(out, [][]float64{{1, 2}, {3, 4}}); !errors.Is(err, krum.ErrTooFewWorkers) {
+		t.Errorf("ErrTooFewWorkers not surfaced: %v", err)
+	}
+	if _, err := krum.NewLinear([]float64{0}); !errors.Is(err, krum.ErrBadParameter) {
+		t.Errorf("ErrBadParameter not surfaced: %v", err)
+	}
+	if err := krum.NewKrum(0).Aggregate(make([]float64, 3), [][]float64{{1}, {2}, {3}}); !errors.Is(err, krum.ErrDimensionMismatch) {
+		t.Errorf("ErrDimensionMismatch not surfaced: %v", err)
+	}
+}
+
+func TestPublicSchedules(t *testing.T) {
+	tests := []struct {
+		name  string
+		s     krum.Schedule
+		round int
+		want  float64
+	}{
+		{name: "constant", s: krum.ScheduleConstant(0.5), round: 100, want: 0.5},
+		{name: "inverse-t", s: krum.ScheduleInverseT(1, 1), round: 1, want: 0.5},
+		{name: "stretched", s: krum.ScheduleInverseTStretched(1, 1, 10), round: 10, want: 0.5},
+		{name: "step", s: krum.ScheduleStep(1, 10, 0.1), round: 10, want: 0.1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.s.Rate(tt.round); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Rate(%d) = %v, want %v", tt.round, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPublicResilienceVerifier(t *testing.T) {
+	g := make([]float64, 8)
+	vec.Fill(g, 1)
+	rep, err := krum.VerifyResilience(krum.ResilienceConfig{
+		Rule: krum.NewKrum(2), N: 11, F: 2,
+		Gradient: g, Sigma: 0.05, Trials: 300, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ConditionI || !rep.ConditionII {
+		t.Errorf("benign verification failed: %+v", rep)
+	}
+	if rep.Eta <= 0 || rep.SinAlpha <= 0 {
+		t.Errorf("eta %v sinalpha %v", rep.Eta, rep.SinAlpha)
+	}
+}
+
+func TestSelectorInterfaceExposed(t *testing.T) {
+	var sel krum.Selector = krum.NewKrum(1)
+	idx, err := sel.Select([][]float64{{0}, {0.1}, {0.2}, {50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 1 || idx[0] == 3 {
+		t.Errorf("selected %v", idx)
+	}
+}

@@ -1,0 +1,26 @@
+package model
+
+// This file provides the shallow models used by the spambase-style
+// experiments and by the convex sanity checks of Proposition 4.3: they
+// are single-layer Networks, so all the Model plumbing (flat params,
+// batch gradients, cloning) is shared with the deep models.
+
+// NewLinearRegression returns y = x·W + b trained under MSE — the
+// strongly convex workload used to sanity-check convergence
+// (Proposition 4.3 condition (v) holds globally for it).
+func NewLinearRegression(inDim, outDim int, seed uint64) (*Network, error) {
+	return NewNetwork(inDim, MSE{}, seed, NewDense(inDim, outDim))
+}
+
+// NewLogistic returns a binary logistic-regression model: a single
+// logit column under fused sigmoid binary cross-entropy. Targets are
+// {0, 1} scalars.
+func NewLogistic(inDim int, seed uint64) (*Network, error) {
+	return NewNetwork(inDim, SigmoidBCE{}, seed, NewDense(inDim, 1))
+}
+
+// NewSoftmaxClassifier returns a linear multi-class classifier under
+// fused softmax cross-entropy with one-hot targets.
+func NewSoftmaxClassifier(inDim, classes int, seed uint64) (*Network, error) {
+	return NewNetwork(inDim, SoftmaxCrossEntropy{}, seed, NewDense(inDim, classes))
+}

@@ -1,0 +1,161 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"krum/internal/vec"
+)
+
+func TestMSEValueAndGrad(t *testing.T) {
+	out := vec.NewDenseFrom(2, 2, []float64{1, 2, 3, 4})
+	tgt := vec.NewDenseFrom(2, 2, []float64{0, 2, 3, 2})
+	v, err := (MSE{}).Value(out, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ½(1 + 0 + 0 + 4)/2 = 1.25
+	if math.Abs(v-1.25) > 1e-12 {
+		t.Errorf("MSE = %v, want 1.25", v)
+	}
+	dst := vec.NewDense(2, 2)
+	v2, err := (MSE{}).Grad(dst, out, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != v {
+		t.Error("Grad loss != Value loss")
+	}
+	want := []float64{0.5, 0, 0, 1}
+	if !vec.ApproxEqual(dst.Data, want, 1e-12) {
+		t.Errorf("MSE grad = %v, want %v", dst.Data, want)
+	}
+}
+
+func TestSoftmaxXentKnownValues(t *testing.T) {
+	// Uniform logits over 3 classes → loss = ln 3.
+	out := vec.NewDenseFrom(1, 3, []float64{0, 0, 0})
+	tgt := vec.NewDenseFrom(1, 3, []float64{0, 1, 0})
+	v, err := (SoftmaxCrossEntropy{}).Value(out, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-math.Log(3)) > 1e-12 {
+		t.Errorf("loss = %v, want ln3 = %v", v, math.Log(3))
+	}
+	dst := vec.NewDense(1, 3)
+	if _, err := (SoftmaxCrossEntropy{}).Grad(dst, out, tgt); err != nil {
+		t.Fatal(err)
+	}
+	third := 1.0 / 3.0
+	want := []float64{third, third - 1, third}
+	if !vec.ApproxEqual(dst.Data, want, 1e-12) {
+		t.Errorf("grad = %v, want %v", dst.Data, want)
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	// Extreme logits must not overflow.
+	out := vec.NewDenseFrom(1, 2, []float64{1000, -1000})
+	tgt := vec.NewDenseFrom(1, 2, []float64{1, 0})
+	v, err := (SoftmaxCrossEntropy{}).Value(out, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("loss = %v not finite", v)
+	}
+	if v > 1e-9 {
+		t.Errorf("confident correct prediction should have ~0 loss, got %v", v)
+	}
+	// Confident wrong prediction: loss ≈ 2000, still finite.
+	tgt2 := vec.NewDenseFrom(1, 2, []float64{0, 1})
+	v2, err := (SoftmaxCrossEntropy{}).Value(out, tgt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(v2, 0) || math.IsNaN(v2) {
+		t.Errorf("wrong-prediction loss = %v not finite", v2)
+	}
+}
+
+func TestSigmoidBCEKnownValues(t *testing.T) {
+	out := vec.NewDenseFrom(1, 1, []float64{0})
+	tgt := vec.NewDenseFrom(1, 1, []float64{1})
+	v, err := (SigmoidBCE{}).Value(out, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-math.Log(2)) > 1e-12 {
+		t.Errorf("BCE = %v, want ln2", v)
+	}
+	dst := vec.NewDense(1, 1)
+	if _, err := (SigmoidBCE{}).Grad(dst, out, tgt); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dst.At(0, 0)+0.5) > 1e-12 {
+		t.Errorf("grad = %v, want -0.5", dst.At(0, 0))
+	}
+}
+
+func TestSigmoidBCEStability(t *testing.T) {
+	out := vec.NewDenseFrom(2, 1, []float64{500, -500})
+	tgt := vec.NewDenseFrom(2, 1, []float64{1, 0})
+	v, err := (SigmoidBCE{}).Value(out, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v > 1e-9 {
+		t.Errorf("extreme-logit BCE = %v", v)
+	}
+}
+
+func TestLossShapeValidation(t *testing.T) {
+	losses := []Loss{MSE{}, SoftmaxCrossEntropy{}, SigmoidBCE{}}
+	for _, l := range losses {
+		t.Run(l.Name(), func(t *testing.T) {
+			if _, err := l.Value(vec.NewDense(1, 2), vec.NewDense(2, 2)); !errors.Is(err, ErrShape) {
+				t.Error("row mismatch accepted")
+			}
+			if _, err := l.Grad(vec.NewDense(0, 2), vec.NewDense(0, 2), vec.NewDense(0, 2)); !errors.Is(err, ErrShape) {
+				t.Error("empty batch accepted")
+			}
+		})
+	}
+}
+
+func TestTransforms(t *testing.T) {
+	out := vec.NewDenseFrom(1, 2, []float64{3, -1})
+	(SoftmaxCrossEntropy{}).Transform(out)
+	if math.Abs(vec.Sum(out.Row(0))-1) > 1e-12 {
+		t.Error("softmax transform does not normalize")
+	}
+	out2 := vec.NewDenseFrom(1, 1, []float64{0})
+	(SigmoidBCE{}).Transform(out2)
+	if out2.At(0, 0) != 0.5 {
+		t.Errorf("sigmoid(0) = %v", out2.At(0, 0))
+	}
+	out3 := vec.NewDenseFrom(1, 1, []float64{42})
+	(MSE{}).Transform(out3)
+	if out3.At(0, 0) != 42 {
+		t.Error("MSE transform should be identity")
+	}
+}
+
+func TestActKindString(t *testing.T) {
+	tests := []struct {
+		k    ActKind
+		want string
+	}{
+		{k: ActReLU, want: "relu"},
+		{k: ActSigmoid, want: "sigmoid"},
+		{k: ActTanh, want: "tanh"},
+		{k: ActKind(99), want: "actkind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package model
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Checkpointing: flat parameter vectors serialized with a small
+// self-describing binary header, so long training runs (and the
+// parameter server binaries) can save and restore model state. The
+// format is independent of architecture — only the dimension is
+// checked — matching the repository's "models exchange flat vectors"
+// design.
+
+// checkpointMagic identifies the format ("KRUM" in ASCII).
+const checkpointMagic = 0x4B52554D
+
+// checkpointVersion is bumped on layout changes.
+const checkpointVersion = 1
+
+// ErrCheckpoint is returned for malformed or mismatched checkpoints.
+var ErrCheckpoint = errors.New("model: bad checkpoint")
+
+// SaveParams writes m's parameters to w: magic, version, dimension,
+// then IEEE-754 bits little endian.
+func SaveParams(w io.Writer, m Model) error {
+	if m == nil {
+		return fmt.Errorf("nil model: %w", ErrCheckpoint)
+	}
+	params := m.Params(nil)
+	header := make([]byte, 12)
+	binary.LittleEndian.PutUint32(header[0:], checkpointMagic)
+	binary.LittleEndian.PutUint32(header[4:], checkpointVersion)
+	binary.LittleEndian.PutUint32(header[8:], uint32(len(params)))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("writing checkpoint header: %w", err)
+	}
+	buf := make([]byte, 8*len(params))
+	for i, p := range params {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(p))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("writing checkpoint payload: %w", err)
+	}
+	return nil
+}
+
+// LoadParams reads a checkpoint from r into m. The stored dimension
+// must equal m.Dim().
+func LoadParams(r io.Reader, m Model) error {
+	if m == nil {
+		return fmt.Errorf("nil model: %w", ErrCheckpoint)
+	}
+	header := make([]byte, 12)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return fmt.Errorf("reading checkpoint header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(header[0:]) != checkpointMagic {
+		return fmt.Errorf("bad magic: %w", ErrCheckpoint)
+	}
+	if v := binary.LittleEndian.Uint32(header[4:]); v != checkpointVersion {
+		return fmt.Errorf("version %d, want %d: %w", v, checkpointVersion, ErrCheckpoint)
+	}
+	dim := int(binary.LittleEndian.Uint32(header[8:]))
+	if dim != m.Dim() {
+		return fmt.Errorf("checkpoint dim %d, model dim %d: %w", dim, m.Dim(), ErrCheckpoint)
+	}
+	buf := make([]byte, 8*dim)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("reading checkpoint payload: %w", err)
+	}
+	params := make([]float64, dim)
+	for i := range params {
+		params[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	if err := m.SetParams(params); err != nil {
+		return fmt.Errorf("applying checkpoint: %w", err)
+	}
+	return nil
+}

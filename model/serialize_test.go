@@ -1,0 +1,103 @@
+package model
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"krum/internal/vec"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m1, err := NewMLP(5, []int{4}, 3, ActTanh, SoftmaxCrossEntropy{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, m1); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMLP(5, []int{4}, 3, ActTanh, SoftmaxCrossEntropy{}, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.ApproxEqual(m1.Params(nil), m2.Params(nil), 1e-12) {
+		t.Fatal("test models accidentally identical")
+	}
+	if err := LoadParams(&buf, m2); err != nil {
+		t.Fatal(err)
+	}
+	if !vec.ApproxEqual(m1.Params(nil), m2.Params(nil), 0) {
+		t.Error("round trip lost parameters")
+	}
+}
+
+func TestLoadParamsValidation(t *testing.T) {
+	m, err := NewLinearRegression(2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveParams(nil, nil); !errors.Is(err, ErrCheckpoint) {
+		t.Error("nil model accepted by SaveParams")
+	}
+	if err := LoadParams(bytes.NewReader(nil), nil); !errors.Is(err, ErrCheckpoint) {
+		t.Error("nil model accepted by LoadParams")
+	}
+	// Truncated header.
+	if err := LoadParams(bytes.NewReader([]byte{1, 2}), m); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Bad magic.
+	bad := make([]byte, 12)
+	if err := LoadParams(bytes.NewReader(bad), m); !errors.Is(err, ErrCheckpoint) {
+		t.Error("bad magic accepted")
+	}
+	// Wrong version.
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:], checkpointMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], 99)
+	if err := LoadParams(bytes.NewReader(hdr), m); !errors.Is(err, ErrCheckpoint) {
+		t.Error("wrong version accepted")
+	}
+	// Wrong dimension.
+	binary.LittleEndian.PutUint32(hdr[4:], checkpointVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], 999)
+	if err := LoadParams(bytes.NewReader(hdr), m); !errors.Is(err, ErrCheckpoint) {
+		t.Error("wrong dimension accepted")
+	}
+	// Truncated payload.
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-4]
+	if err := LoadParams(bytes.NewReader(short), m); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestCheckpointAcrossArchitecturesSameDim(t *testing.T) {
+	// The format is architecture-agnostic by design: two different
+	// models with equal Dim() can exchange checkpoints.
+	a, err := NewLinearRegression(3, 2, 1) // dim = 3·2+2 = 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMLP(2, []int{2}, 1, ActReLU, MSE{}, 2) // dim = 2·2+2 + 2·1+1 = wrong?
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	err = LoadParams(&buf, b)
+	if a.Dim() == b.Dim() {
+		if err != nil {
+			t.Errorf("same-dim load failed: %v", err)
+		}
+	} else if !errors.Is(err, ErrCheckpoint) {
+		t.Errorf("dim mismatch not detected: %v", err)
+	}
+}
