@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench
+
+# check is the CI gate: formatting, static analysis, build, tests.
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

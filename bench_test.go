@@ -214,6 +214,27 @@ func BenchmarkRules(b *testing.B) {
 	}
 }
 
+// BenchmarkBulyanMemoized measures the memoized Bulyan at the
+// iterated-Krum stress point (n = 40, d = 10000, θ = 31): the selection
+// phase builds ONE distance matrix and masks winners out of it, so the
+// cost is Θ(n²·d + θ·n²) instead of the seed's Θ(θ·n²·d). See
+// BenchmarkBulyanSelectSeedReference in internal/core for the
+// pool-rebuilding baseline it replaces (~10× slower at this point).
+func BenchmarkBulyanMemoized(b *testing.B) {
+	const n, d = 40, 10000
+	f := (n - 3) / 4
+	vs := benchVectors(n, d)
+	dst := make([]float64, d)
+	rule := krum.NewBulyan(f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rule.Aggregate(dst, vs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n-2*f), "theta")
+}
+
 // BenchmarkResilienceVerifier measures the Definition 3.2 Monte-Carlo
 // verifier throughput.
 func BenchmarkResilienceVerifier(b *testing.B) {

@@ -3,7 +3,11 @@
 // (including the exponential minimal-diameter rule on small n, which is
 // exactly the cost argument the paper makes for Krum).
 //
+// Rules are registry specs; parameters omitted from a spec default to
+// the sweep's per-n cluster shape:
+//
 //	krum-bench -rules krum,average,medoid -n 5,10,20,40 -d 1000,10000 -csv
+//	krum-bench -rules "multikrum(m=3),bulyan" -n 20 -d 1000
 package main
 
 import (
@@ -15,7 +19,6 @@ import (
 	"time"
 
 	"krum"
-	"krum/internal/core"
 	"krum/internal/metrics"
 	"krum/internal/vec"
 )
@@ -25,7 +28,8 @@ func main() {
 }
 
 func run() int {
-	rulesFlag := flag.String("rules", "krum,multikrum,average,medoid,coordmedian,geomedian", "comma-separated rules (add 'minimaldiameter' for the exponential baseline)")
+	rulesFlag := flag.String("rules", "krum,multikrum,average,medoid,coordmedian,geomedian",
+		"comma-separated rule specs, from: "+krum.RuleUsage())
 	nFlag := flag.String("n", "5,10,20,40", "comma-separated worker counts")
 	dFlag := flag.String("d", "100,1000,10000", "comma-separated dimensions")
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of an aligned table")
@@ -56,15 +60,17 @@ func run() int {
 				vectors[i] = rng.NewNormal(d, 0, 1)
 			}
 			dst := make([]float64, d)
-			for _, name := range strings.Split(*rulesFlag, ",") {
-				rule, err := ruleByName(strings.TrimSpace(name), n, f)
+			// SplitRuleSpecs keeps commas inside parameter lists, so
+			// "krum,multikrum(f=2,m=3)" is two specs, not three.
+			for _, spec := range krum.SplitRuleSpecs(*rulesFlag) {
+				rule, err := krum.ParseRuleIn(krum.SpecContext{N: n, F: f}, spec)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "%v\n", err)
 					return 2
 				}
 				nanos, err := timeRule(rule, dst, vectors)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "%s n=%d d=%d: %v\n", name, n, d, err)
+					fmt.Fprintf(os.Stderr, "%s n=%d d=%d: %v\n", spec, n, d, err)
 					return 1
 				}
 				tbl.AddRowf(rule.Name(), n, d, nanos, nanos/(float64(n)*float64(n)*float64(d)))
@@ -85,45 +91,9 @@ func run() int {
 	return 0
 }
 
-// ruleByName maps CLI names to rules configured for (n, f).
-func ruleByName(name string, n, f int) (core.Rule, error) {
-	switch name {
-	case "krum":
-		return krum.NewKrum(f), nil
-	case "multikrum":
-		m := n - f
-		if m < 1 {
-			m = 1
-		}
-		return krum.NewMultiKrum(f, m), nil
-	case "average":
-		return krum.Average{}, nil
-	case "medoid":
-		return krum.Medoid{}, nil
-	case "coordmedian":
-		return krum.CoordMedian{}, nil
-	case "trimmedmean":
-		return krum.TrimmedMean{Trim: f}, nil
-	case "geomedian":
-		return krum.GeoMedian{}, nil
-	case "minimaldiameter":
-		return krum.NewMinimalDiameter(f), nil
-	case "clippedmean":
-		return krum.ClippedMean{}, nil
-	case "bulyan":
-		bf := (n - 3) / 4
-		if f < bf {
-			bf = f
-		}
-		return krum.NewBulyan(bf), nil
-	default:
-		return nil, fmt.Errorf("unknown rule %q", name)
-	}
-}
-
 // timeRule measures one rule's aggregation latency with calibrated
 // repetitions.
-func timeRule(rule core.Rule, dst []float64, vectors [][]float64) (float64, error) {
+func timeRule(rule krum.Rule, dst []float64, vectors [][]float64) (float64, error) {
 	start := time.Now()
 	if err := rule.Aggregate(dst, vectors); err != nil {
 		return 0, err

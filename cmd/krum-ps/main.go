@@ -19,7 +19,6 @@ import (
 
 	"krum"
 	"krum/distsgd"
-	"krum/internal/core"
 	"krum/internal/harness"
 	"krum/internal/transport"
 	"krum/model"
@@ -33,7 +32,9 @@ func run() int {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
 	workers := flag.Int("workers", 5, "number of workers to wait for")
 	fTol := flag.Int("f", 1, "Byzantine workers the rule tolerates")
-	ruleName := flag.String("rule", "krum", "krum | multikrum | average | medoid | coordmedian | trimmedmean | geomedian")
+	// The help text is generated from the rule registry so it can never
+	// drift from the implemented set again.
+	ruleSpec := flag.String("rule", "krum", "aggregation rule spec: "+krum.RuleUsage())
 	workload := flag.String("workload", "mnist", fmt.Sprintf("one of %v", harness.WorkloadNames()))
 	rounds := flag.Int("rounds", 200, "synchronous rounds")
 	gamma := flag.Float64("gamma", 0.5, "initial learning rate")
@@ -49,7 +50,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "workload: %v\n", err)
 		return 2
 	}
-	rule, err := ruleByName(*ruleName, *workers, *fTol)
+	rule, err := krum.ParseRuleIn(krum.SpecContext{N: *workers, F: *fTol}, *ruleSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		return 2
@@ -133,33 +134,4 @@ func run() int {
 		fmt.Printf("checkpoint written to %s\n", *savePath)
 	}
 	return 0
-}
-
-func ruleByName(name string, n, f int) (core.Rule, error) {
-	switch name {
-	case "krum":
-		return krum.NewKrum(f), nil
-	case "multikrum":
-		m := n - f
-		if m < 1 {
-			m = 1
-		}
-		return krum.NewMultiKrum(f, m), nil
-	case "average":
-		return krum.Average{}, nil
-	case "medoid":
-		return krum.Medoid{}, nil
-	case "coordmedian":
-		return krum.CoordMedian{}, nil
-	case "trimmedmean":
-		return krum.TrimmedMean{Trim: f}, nil
-	case "geomedian":
-		return krum.GeoMedian{}, nil
-	case "clippedmean":
-		return krum.ClippedMean{}, nil
-	case "bulyan":
-		return krum.NewBulyan(f), nil
-	default:
-		return nil, fmt.Errorf("unknown rule %q", name)
-	}
 }

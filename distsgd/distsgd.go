@@ -102,8 +102,18 @@ type Config struct {
 	// for held-out evaluation.
 	Dataset data.Dataset
 	// Rule is the parameter server's choice function (krum.Krum,
-	// krum.Average, ...).
+	// krum.Average, ...). Leave nil and set RuleSpec to construct it
+	// from the registry instead.
 	Rule core.Rule
+	// RuleSpec constructs Rule through the central registry
+	// (core.ParseRuleIn) with the cluster shape as defaults — e.g.
+	// "krum", "multikrum(m=5)", "bulyan(f=2)". Exactly one of Rule and
+	// RuleSpec must be set.
+	RuleSpec string
+	// Parallel is the number of goroutines used for the shared
+	// per-round distance matrix (0 = serial); see
+	// vec.NewDistanceMatrixParallel for the d ≫ n crossover.
+	Parallel int
 	// N is the total number of workers; F of them are Byzantine
 	// (0 ≤ F < N).
 	N, F int
@@ -125,7 +135,9 @@ type Config struct {
 	EvalBatch int
 	// TrackSelection additionally queries selection-based rules for
 	// the chosen indices each round to build Byzantine-selection
-	// histograms. It roughly doubles the aggregation cost.
+	// histograms. The selection pass shares the round's memoized
+	// distance matrix with aggregation, so the O(n²·d) cost is paid
+	// once; only the O(n²) score extraction runs twice.
 	TrackSelection bool
 	// Source overrides the default in-process pool of N−F workers —
 	// used to train over the TCP substrate. When set, Source.N() must
@@ -167,6 +179,16 @@ func (c *Config) validate() error {
 // Run executes the synchronous training protocol and returns the full
 // round history.
 func Run(cfg Config) (*Result, error) {
+	if cfg.Rule != nil && cfg.RuleSpec != "" {
+		return nil, fmt.Errorf("both Rule and RuleSpec set (%q): %w", cfg.RuleSpec, ErrConfig)
+	}
+	if cfg.Rule == nil && cfg.RuleSpec != "" {
+		rule, err := core.ParseRuleIn(core.SpecContext{N: cfg.N, F: cfg.F}, cfg.RuleSpec)
+		if err != nil {
+			return nil, fmt.Errorf("rule spec %q: %w", cfg.RuleSpec, err)
+		}
+		cfg.Rule = rule
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -210,8 +232,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	attackRNG := rootRNG.Split()
+	// The engine hands out one RoundContext per round so that selection
+	// tracking and aggregation share a single distance matrix; the
+	// proposal slice and the pooled update buffer are reused across all
+	// rounds (every rule fully overwrites dst).
+	engine := core.NewEngine(cfg.Parallel)
 	proposals := make([][]float64, cfg.N)
-	update := make([]float64, dim)
+	update := vec.GetFloats(dim)
+	defer vec.PutFloats(update)
 	res := &Result{History: make([]RoundStats, 0, cfg.Rounds)}
 
 	for t := 0; t < cfg.Rounds; t++ {
@@ -237,9 +265,10 @@ func Run(cfg Config) (*Result, error) {
 
 		stats := RoundStats{Round: t, TrainLoss: trainLoss, LearningRate: opt.CurrentRate()}
 
+		round := engine.Round(proposals)
 		if cfg.TrackSelection {
 			if sel, ok := cfg.Rule.(core.Selector); ok {
-				indices, err := sel.Select(proposals)
+				indices, err := core.SelectContext(sel, round)
 				if err != nil {
 					return nil, fmt.Errorf("round %d selection: %w", t, err)
 				}
@@ -254,7 +283,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
-		if err := cfg.Rule.Aggregate(update, proposals); err != nil {
+		if err := core.AggregateContext(cfg.Rule, update, round); err != nil {
 			return nil, fmt.Errorf("round %d aggregation: %w", t, err)
 		}
 		stats.UpdateNorm = vec.Norm(update)

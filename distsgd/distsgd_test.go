@@ -285,3 +285,41 @@ func TestLemma31AtTrainingLevel(t *testing.T) {
 		t.Error("krum diverged under the Lemma 3.1 takeover")
 	}
 }
+
+// TestRunRuleSpec: the registry path — a spec string with cluster-shape
+// defaults must train identically to the explicitly constructed rule.
+func TestRunRuleSpec(t *testing.T) {
+	cfg := quickConfig(t)
+	cfg.Attack = attack.Gaussian{Sigma: 100}
+	explicit, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specCfg := quickConfig(t)
+	specCfg.Attack = attack.Gaussian{Sigma: 100}
+	specCfg.Rule = nil
+	specCfg.RuleSpec = "krum" // f defaults to cfg.F via SpecContext
+	viaSpec, err := Run(specCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.ApproxEqual(explicit.FinalParams, viaSpec.FinalParams, 0) {
+		t.Error("RuleSpec training diverged from explicit rule training")
+	}
+}
+
+func TestRunRuleSpecErrors(t *testing.T) {
+	cfg := quickConfig(t)
+	cfg.Rule = nil
+	cfg.RuleSpec = "nosuchrule"
+	if _, err := Run(cfg); !errors.Is(err, krum.ErrBadParameter) {
+		t.Errorf("unknown spec error = %v, want ErrBadParameter", err)
+	}
+
+	both := quickConfig(t)
+	both.RuleSpec = "krum" // Rule is already set
+	if _, err := Run(both); !errors.Is(err, ErrConfig) {
+		t.Errorf("Rule+RuleSpec error = %v, want ErrConfig", err)
+	}
+}

@@ -14,7 +14,6 @@ import (
 	"krum/attack"
 	"krum/data"
 	"krum/distsgd"
-	"krum/internal/core"
 	"krum/model"
 )
 
@@ -35,7 +34,14 @@ func main() {
 	fmt.Printf("workload: 12x12 synthetic MNIST, MLP d=%d\n", mlp.Dim())
 	fmt.Printf("cluster: n=%d workers, f=%d omniscient Byzantine\n\n", n, f)
 
-	train := func(rule core.Rule) *distsgd.Result {
+	// Rules come from the central registry; "krum" picks up f from the
+	// spec context.
+	specCtx := krum.SpecContext{N: n, F: f}
+	train := func(spec string) *distsgd.Result {
+		rule, err := krum.ParseRuleIn(specCtx, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
 		res, err := distsgd.Run(distsgd.Config{
 			Model:     mlp,
 			Dataset:   ds,
@@ -61,9 +67,9 @@ func main() {
 	}
 
 	fmt.Println("--- averaging under attack ---")
-	avg := train(krum.Average{})
+	avg := train("average")
 	fmt.Println("--- krum under attack ---")
-	kr := train(krum.NewKrum(f))
+	kr := train("krum")
 
 	fmt.Println()
 	if avg.Diverged {

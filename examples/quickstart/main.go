@@ -32,13 +32,23 @@ func main() {
 		{-500, 380, -220, 640}, // Byzantine
 	}
 
+	// Rules are constructed from registry spec strings — the same form
+	// the CLI binaries and distsgd.Config.RuleSpec accept.
+	averageRule, err := krum.ParseRule("average")
+	if err != nil {
+		log.Fatal(err)
+	}
 	average := make([]float64, d)
-	if err := (krum.Average{}).Aggregate(average, proposals); err != nil {
+	if err := averageRule.Aggregate(average, proposals); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("average (poisoned):  %6.2f\n", average)
 
-	rule := krum.NewKrum(f)
+	parsed, err := krum.ParseRule(fmt.Sprintf("krum(f=%d)", f))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rule := parsed.(*krum.Krum)
 	out := make([]float64, d)
 	if err := rule.Aggregate(out, proposals); err != nil {
 		log.Fatal(err)

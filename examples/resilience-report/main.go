@@ -11,7 +11,6 @@ import (
 	"log"
 
 	"krum"
-	"krum/internal/core"
 )
 
 func main() {
@@ -43,11 +42,16 @@ func main() {
 		return out
 	}
 
-	rules := []core.Rule{
-		krum.NewKrum(f),
-		krum.NewMultiKrum(f, n-2*f),
-		krum.NewBulyan(f),
-		krum.Average{},
+	// Rules come from the central registry; f defaults to the declared
+	// cluster shape (n = 15 supports Bulyan's n ≥ 4f+3 at f = 3).
+	specCtx := krum.SpecContext{N: n, F: f}
+	rules := make([]krum.Rule, 0, 4)
+	for _, spec := range []string{"krum", fmt.Sprintf("multikrum(m=%d)", n-2*f), "bulyan", "average"} {
+		rule, err := krum.ParseRuleIn(specCtx, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rules = append(rules, rule)
 	}
 	fmt.Printf("%-16s %-6s %-9s %-12s %-12s %-8s %-8s\n",
 		"rule", "σ", "sin α", "⟨EF,g⟩", "bound", "cond(i)", "cond(ii)")

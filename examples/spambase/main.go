@@ -14,7 +14,6 @@ import (
 	"krum/attack"
 	"krum/data"
 	"krum/distsgd"
-	"krum/internal/core"
 	"krum/model"
 )
 
@@ -35,7 +34,7 @@ func main() {
 	fmt.Printf("workload: synthetic spambase (57 features), logistic regression\n")
 	fmt.Printf("cluster: n=%d, f=%d Gaussian attackers (σ=200)\n\n", n, f)
 
-	run := func(rule core.Rule) *distsgd.Result {
+	run := func(rule krum.Rule) *distsgd.Result {
 		res, err := distsgd.Run(distsgd.Config{
 			Model:          clf,
 			Dataset:        ds,
@@ -56,7 +55,14 @@ func main() {
 		return res
 	}
 
-	for _, rule := range []core.Rule{krum.Average{}, krum.NewKrum(f), krum.NewMultiKrum(f, 5)} {
+	// Rules come from the central registry; f defaults to the declared
+	// cluster shape.
+	specCtx := krum.SpecContext{N: n, F: f}
+	for _, spec := range []string{"average", "krum", "multikrum(m=5)"} {
+		rule, err := krum.ParseRuleIn(specCtx, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
 		res := run(rule)
 		status := fmt.Sprintf("final accuracy %.3f", res.FinalTestAccuracy)
 		if res.Diverged {

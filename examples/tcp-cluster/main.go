@@ -79,7 +79,7 @@ func main() {
 	res, err := distsgd.Run(distsgd.Config{
 		Model:     m,
 		Dataset:   ds,
-		Rule:      krum.NewKrum(fTol),
+		RuleSpec:  fmt.Sprintf("krum(f=%d)", fTol), // constructed via the registry
 		N:         nWorkers,
 		F:         0, // all proposals arrive over the wire
 		Schedule:  krum.ScheduleInverseTStretched(0.4, 0.75, 60),

@@ -1,0 +1,3 @@
+module krum
+
+go 1.24

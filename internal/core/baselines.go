@@ -81,16 +81,18 @@ func (l *Linear) Aggregate(dst []float64, vectors [][]float64) error {
 type Medoid struct{}
 
 var (
-	_ Rule     = Medoid{}
-	_ Selector = Medoid{}
+	_ Rule            = Medoid{}
+	_ Selector        = Medoid{}
+	_ ContextRule     = Medoid{}
+	_ ContextSelector = Medoid{}
 )
 
 // Name implements Rule.
 func (Medoid) Name() string { return "medoid" }
 
-// Select returns the index of the sum-of-squared-distance minimiser,
-// ties broken by smallest index.
-func (Medoid) Select(vectors [][]float64) ([]int, error) {
+// SelectContext implements ContextSelector against a shared round.
+func (Medoid) SelectContext(ctx *RoundContext) ([]int, error) {
+	vectors := ctx.Vectors()
 	n := len(vectors)
 	if n == 0 {
 		return nil, ErrNoVectors
@@ -101,25 +103,37 @@ func (Medoid) Select(vectors [][]float64) ([]int, error) {
 			return nil, fmt.Errorf("vector %d has dimension %d, want %d: %w", i, len(v), d, ErrDimensionMismatch)
 		}
 	}
-	dm := vec.NewDistanceMatrix(vectors)
-	scores := make([]float64, n)
+	dm := ctx.Distances()
+	scores := vec.GetFloats(n)
+	defer vec.PutFloats(scores)
 	for i := 0; i < n; i++ {
 		scores[i] = vec.Sum(dm.Row(i))
 	}
 	return []int{vec.Argmin(scores)}, nil
 }
 
-// Aggregate implements Rule.
-func (m Medoid) Aggregate(dst []float64, vectors [][]float64) error {
-	if err := checkInputs(dst, vectors); err != nil {
+// Select returns the index of the sum-of-squared-distance minimiser,
+// ties broken by smallest index.
+func (m Medoid) Select(vectors [][]float64) ([]int, error) {
+	return m.SelectContext(NewRoundContext(vectors))
+}
+
+// AggregateContext implements ContextRule.
+func (m Medoid) AggregateContext(dst []float64, ctx *RoundContext) error {
+	if err := checkInputs(dst, ctx.Vectors()); err != nil {
 		return err
 	}
-	sel, err := m.Select(vectors)
+	sel, err := m.SelectContext(ctx)
 	if err != nil {
 		return err
 	}
-	copy(dst, vectors[sel[0]])
+	copy(dst, ctx.Vectors()[sel[0]])
 	return nil
+}
+
+// Aggregate implements Rule.
+func (m Medoid) Aggregate(dst []float64, vectors [][]float64) error {
+	return m.AggregateContext(dst, NewRoundContext(vectors))
 }
 
 // CoordMedian is the coordinate-wise median, a classical robust

@@ -31,18 +31,21 @@ type MinimalDiameter struct {
 func NewMinimalDiameter(f int) *MinimalDiameter { return &MinimalDiameter{F: f} }
 
 var (
-	_ Rule     = (*MinimalDiameter)(nil)
-	_ Selector = (*MinimalDiameter)(nil)
+	_ Rule            = (*MinimalDiameter)(nil)
+	_ Selector        = (*MinimalDiameter)(nil)
+	_ ContextRule     = (*MinimalDiameter)(nil)
+	_ ContextSelector = (*MinimalDiameter)(nil)
 )
 
 // Name implements Rule.
 func (*MinimalDiameter) Name() string { return "minimaldiameter" }
 
-// Select returns the indices of the minimal-diameter subset of size
-// n − F, ordered ascending. Ties resolve to the lexicographically
-// smallest subset because enumeration is in lexicographic order and
-// strict improvement is required to switch.
-func (md *MinimalDiameter) Select(vectors [][]float64) ([]int, error) {
+// SelectContext implements ContextSelector: the subset enumeration runs
+// over the shared distance matrix. Ties resolve to the
+// lexicographically smallest subset because enumeration is in
+// lexicographic order and strict improvement is required to switch.
+func (md *MinimalDiameter) SelectContext(ctx *RoundContext) ([]int, error) {
+	vectors := ctx.Vectors()
 	n := len(vectors)
 	if n == 0 {
 		return nil, ErrNoVectors
@@ -64,7 +67,7 @@ func (md *MinimalDiameter) Select(vectors [][]float64) ([]int, error) {
 			return nil, fmt.Errorf("vector %d has dimension %d, want %d: %w", i, len(v), d, ErrDimensionMismatch)
 		}
 	}
-	dm := vec.NewDistanceMatrix(vectors)
+	dm := ctx.Distances()
 
 	best := make([]int, k)
 	cur := make([]int, k)
@@ -82,21 +85,33 @@ func (md *MinimalDiameter) Select(vectors [][]float64) ([]int, error) {
 	return best, nil
 }
 
-// Aggregate implements Rule: the average of the minimal-diameter subset.
-func (md *MinimalDiameter) Aggregate(dst []float64, vectors [][]float64) error {
-	if err := checkInputs(dst, vectors); err != nil {
+// Select returns the indices of the minimal-diameter subset of size
+// n − F, ordered ascending.
+func (md *MinimalDiameter) Select(vectors [][]float64) ([]int, error) {
+	return md.SelectContext(NewRoundContext(vectors))
+}
+
+// AggregateContext implements ContextRule: the average of the
+// minimal-diameter subset found on the shared matrix.
+func (md *MinimalDiameter) AggregateContext(dst []float64, ctx *RoundContext) error {
+	if err := checkInputs(dst, ctx.Vectors()); err != nil {
 		return err
 	}
-	sel, err := md.Select(vectors)
+	sel, err := md.SelectContext(ctx)
 	if err != nil {
 		return err
 	}
 	vec.Zero(dst)
 	for _, i := range sel {
-		vec.Axpy(1, vectors[i], dst)
+		vec.Axpy(1, ctx.Vectors()[i], dst)
 	}
 	vec.Scale(1/float64(len(sel)), dst)
 	return nil
+}
+
+// Aggregate implements Rule: the average of the minimal-diameter subset.
+func (md *MinimalDiameter) Aggregate(dst []float64, vectors [][]float64) error {
+	return md.AggregateContext(dst, NewRoundContext(vectors))
 }
 
 // subsetDiameter returns the largest pairwise squared distance within

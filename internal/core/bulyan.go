@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+
+	"krum/internal/vec"
 )
 
 // Bulyan is the authors' follow-up defense (El Mhamdi, Guerraoui,
@@ -20,6 +22,13 @@ import (
 //     β = θ − 2f, i.e. for each coordinate average the β values
 //     closest to the coordinate median.
 //
+// The iterated-Krum phase is memoized: the O(n²·d) pairwise distance
+// matrix (Lemma 4.1) is built exactly once per aggregation, and each of
+// the θ rounds only masks the previous winner out of the score sums
+// with a vec.ActiveSet view — Θ(n²·d + θ·n²) total instead of the
+// Θ(θ·n²·d) of rebuilding the pool every round. The selected index
+// sequence is identical to the naive pool-rebuilding formulation.
+//
 // It requires n ≥ 4f + 3. Construct with NewBulyan.
 type Bulyan struct {
 	// F is the number of Byzantine workers tolerated.
@@ -30,8 +39,10 @@ type Bulyan struct {
 func NewBulyan(f int) *Bulyan { return &Bulyan{F: f} }
 
 var (
-	_ Rule     = (*Bulyan)(nil)
-	_ Selector = (*Bulyan)(nil)
+	_ Rule            = (*Bulyan)(nil)
+	_ Selector        = (*Bulyan)(nil)
+	_ ContextRule     = (*Bulyan)(nil)
+	_ ContextSelector = (*Bulyan)(nil)
 )
 
 // Name implements Rule.
@@ -48,9 +59,11 @@ func (b *Bulyan) validate(n int) error {
 	return nil
 }
 
-// Select implements Selector: the θ = n − 2f indices chosen by the
-// iterated-Krum phase, in selection order.
-func (b *Bulyan) Select(vectors [][]float64) ([]int, error) {
+// SelectContext implements ContextSelector: the θ = n − 2f indices
+// chosen by the memoized iterated-Krum phase, in selection order. The
+// context's shared distance matrix is the only one ever built.
+func (b *Bulyan) SelectContext(ctx *RoundContext) ([]int, error) {
+	vectors := ctx.Vectors()
 	n := len(vectors)
 	if n == 0 {
 		return nil, ErrNoVectors
@@ -58,53 +71,71 @@ func (b *Bulyan) Select(vectors [][]float64) ([]int, error) {
 	if err := b.validate(n); err != nil {
 		return nil, err
 	}
-	theta := n - 2*b.F
-	// remaining maps pool positions to original indices.
-	remaining := make([]int, n)
-	for i := range remaining {
-		remaining[i] = i
+	d := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != d {
+			return nil, fmt.Errorf("vector %d has dimension %d, want %d: %w", i, len(v), d, ErrDimensionMismatch)
+		}
 	}
-	pool := append([][]float64(nil), vectors...)
+	theta := n - 2*b.F
+	active := vec.NewActiveSet(ctx.Distances())
+	scratch := vec.GetFloats(n)
+	defer vec.PutFloats(scratch)
 	selected := make([]int, 0, theta)
 	for len(selected) < theta {
-		// Krum over the shrinking pool. The Krum score needs
-		// |pool| − f' − 2 ≥ 1 neighbours; near the end of the loop the
-		// pool drops to 2f + 1 elements, so the effective tolerance f'
-		// is clamped to |pool| − 3. This is sound: winners already
-		// moved to S only shrink the pool, never raise the number of
-		// Byzantine proposals left in it.
-		if len(pool) < 3 {
+		m := active.Count()
+		// Krum over the masked pool. The Krum score needs
+		// m − f' − 2 ≥ 1 neighbours; near the end of the loop the pool
+		// drops to 2f + 1 elements, so the effective tolerance f' is
+		// clamped to m − 3. This is sound: winners already moved to S
+		// only shrink the pool, never raise the number of Byzantine
+		// proposals left in it.
+		if m < 3 {
 			// With one or two candidates the Krum score cannot
 			// discriminate at all; take them in id order (the paper's
 			// deterministic tie-break).
-			selected = append(selected, remaining...)
+			selected = active.AppendAlive(selected)
 			selected = selected[:theta]
 			break
 		}
 		innerF := b.F
-		if maxF := len(pool) - 3; innerF > maxF {
+		if maxF := m - 3; innerF > maxF {
 			innerF = maxF
 		}
-		inner := Krum{F: innerF}
-		sel, err := inner.Select(pool)
-		if err != nil {
-			return nil, fmt.Errorf("iterated krum at |pool|=%d: %w", len(pool), err)
+		neighbours := m - innerF - 2
+		// Argmin over the active scores; iterating active indices in
+		// ascending order with strict improvement reproduces the
+		// smallest-id tie-break of footnote 3.
+		best, bestScore := -1, 0.0
+		for i := 0; i < n; i++ {
+			if !active.Alive(i) {
+				continue
+			}
+			s := active.SumKSmallest(i, neighbours, scratch)
+			if best < 0 || s < bestScore {
+				best, bestScore = i, s
+			}
 		}
-		w := sel[0]
-		selected = append(selected, remaining[w])
-		pool = append(pool[:w], pool[w+1:]...)
-		remaining = append(remaining[:w], remaining[w+1:]...)
+		selected = append(selected, best)
+		active.Deactivate(best)
 	}
 	return selected, nil
 }
 
-// Aggregate implements Rule: the coordinate-wise trimmed mean of the
-// selected set around the median.
-func (b *Bulyan) Aggregate(dst []float64, vectors [][]float64) error {
+// Select implements Selector: the θ = n − 2f indices chosen by the
+// iterated-Krum phase, in selection order.
+func (b *Bulyan) Select(vectors [][]float64) ([]int, error) {
+	return b.SelectContext(NewRoundContext(vectors))
+}
+
+// AggregateContext implements ContextRule: the coordinate-wise trimmed
+// mean of the set selected on the shared distance matrix.
+func (b *Bulyan) AggregateContext(dst []float64, ctx *RoundContext) error {
+	vectors := ctx.Vectors()
 	if err := checkInputs(dst, vectors); err != nil {
 		return err
 	}
-	selected, err := b.Select(vectors)
+	selected, err := b.SelectContext(ctx)
 	if err != nil {
 		return err
 	}
@@ -119,7 +150,8 @@ func (b *Bulyan) Aggregate(dst []float64, vectors [][]float64) error {
 		dist float64
 	}
 	column := make([]entry, theta)
-	vals := make([]float64, theta)
+	vals := vec.GetFloats(theta)
+	defer vec.PutFloats(vals)
 	for j := range dst {
 		for i, idx := range selected {
 			vals[i] = vectors[idx][j]
@@ -140,6 +172,12 @@ func (b *Bulyan) Aggregate(dst []float64, vectors [][]float64) error {
 		dst[j] = s / float64(beta)
 	}
 	return nil
+}
+
+// Aggregate implements Rule: the coordinate-wise trimmed mean of the
+// selected set around the median.
+func (b *Bulyan) Aggregate(dst []float64, vectors [][]float64) error {
+	return b.AggregateContext(dst, NewRoundContext(vectors))
 }
 
 // medianOf returns the median of vals; it scrambles the slice order.

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"krum/internal/vec"
+)
+
+// RoundContext carries the state shared by every rule invocation over
+// one round's proposals — above all the O(n²·d) pairwise distance
+// matrix of Lemma 4.1, which is computed lazily and AT MOST ONCE no
+// matter how many distance-based rules (or how many iterated-Krum
+// passes inside Bulyan) consume it.
+//
+// A context is cheap to create; the matrix is only built when a rule
+// first asks for it. Contexts are single-round objects: the proposals
+// must not be mutated while a context referencing them is in use.
+type RoundContext struct {
+	vectors  [][]float64
+	parallel int
+	dm       *vec.DistanceMatrix
+}
+
+// NewRoundContext returns a context over one round's proposals.
+func NewRoundContext(vectors [][]float64) *RoundContext {
+	return &RoundContext{vectors: vectors}
+}
+
+// SetParallel sets the number of goroutines used if/when the distance
+// matrix is built (0 = serial) and returns the context for chaining. It
+// must be called before the first Distances call to have any effect.
+func (c *RoundContext) SetParallel(workers int) *RoundContext {
+	c.parallel = workers
+	return c
+}
+
+// EnsureParallel raises the worker count used for the not-yet-built
+// distance matrix; once the matrix exists it is a no-op. Rules that
+// carry their own parallelism knob (Krum.Parallel) call this so the
+// knob keeps working when the rule runs against an engine-provided
+// context.
+func (c *RoundContext) EnsureParallel(workers int) {
+	if c.dm == nil && workers > c.parallel {
+		c.parallel = workers
+	}
+}
+
+// N returns the number of proposals.
+func (c *RoundContext) N() int { return len(c.vectors) }
+
+// Vectors returns the round's proposals. Callers must not mutate them.
+func (c *RoundContext) Vectors() [][]float64 { return c.vectors }
+
+// Distances returns the pairwise squared-distance matrix, building it
+// on first use and memoizing it for every later caller.
+func (c *RoundContext) Distances() *vec.DistanceMatrix {
+	if c.dm == nil {
+		if c.parallel > 1 {
+			c.dm = vec.NewDistanceMatrixParallel(c.vectors, c.parallel)
+		} else {
+			c.dm = vec.NewDistanceMatrix(c.vectors)
+		}
+	}
+	return c.dm
+}
+
+// ContextSelector is implemented by selection rules whose Select can
+// run against a shared RoundContext, reusing its distance matrix
+// instead of computing their own.
+type ContextSelector interface {
+	Selector
+	// SelectContext is Select over the context's proposals.
+	SelectContext(ctx *RoundContext) ([]int, error)
+}
+
+// ContextRule is implemented by rules whose Aggregate can run against a
+// shared RoundContext.
+type ContextRule interface {
+	Rule
+	// AggregateContext is Aggregate over the context's proposals.
+	AggregateContext(dst []float64, ctx *RoundContext) error
+}
+
+// SelectContext runs rule.Select through the shared context when the
+// rule supports it, falling back to the plain path otherwise.
+func SelectContext(rule Selector, ctx *RoundContext) ([]int, error) {
+	if cs, ok := rule.(ContextSelector); ok {
+		return cs.SelectContext(ctx)
+	}
+	return rule.Select(ctx.Vectors())
+}
+
+// AggregateContext runs rule.Aggregate through the shared context when
+// the rule supports it, falling back to the plain path otherwise.
+func AggregateContext(rule Rule, dst []float64, ctx *RoundContext) error {
+	if cr, ok := rule.(ContextRule); ok {
+		return cr.AggregateContext(dst, ctx)
+	}
+	return rule.Aggregate(dst, ctx.Vectors())
+}
+
+// Engine is the shared aggregation engine of the parameter server: it
+// hands out one RoundContext per round so that selection tracking,
+// aggregation, and any diagnostics all share a single distance matrix.
+// The zero value is ready to use (serial matrix construction).
+type Engine struct {
+	// Parallel is the number of goroutines used for each round's
+	// distance matrix (0 = serial); see vec.NewDistanceMatrixParallel
+	// for the d ≫ n crossover.
+	Parallel int
+}
+
+// NewEngine returns an engine building distance matrices with the given
+// number of goroutines (0 = serial).
+func NewEngine(parallel int) *Engine { return &Engine{Parallel: parallel} }
+
+// Round returns the shared context for one round's proposals.
+func (e *Engine) Round(vectors [][]float64) *RoundContext {
+	return NewRoundContext(vectors).SetParallel(e.Parallel)
+}
+
+// Select runs a selection rule over one round through a fresh context.
+func (e *Engine) Select(rule Selector, vectors [][]float64) ([]int, error) {
+	return SelectContext(rule, e.Round(vectors))
+}
+
+// Aggregate runs a rule over one round through a fresh context.
+func (e *Engine) Aggregate(rule Rule, dst []float64, vectors [][]float64) error {
+	return AggregateContext(rule, dst, e.Round(vectors))
+}

@@ -25,58 +25,18 @@ type FiniteGuard struct {
 	Inner Rule
 }
 
-var _ Rule = FiniteGuard{}
+var (
+	_ Rule        = FiniteGuard{}
+	_ ContextRule = FiniteGuard{}
+)
 
-// Name implements Rule.
-func (g FiniteGuard) Name() string {
-	if g.Inner == nil {
-		return "finiteguard(nil)"
-	}
-	return "finiteguard(" + g.Inner.Name() + ")"
-}
-
-// Aggregate implements Rule.
-func (g FiniteGuard) Aggregate(dst []float64, vectors [][]float64) error {
-	if g.Inner == nil {
-		return fmt.Errorf("nil inner rule: %w", ErrBadParameter)
-	}
-	if err := checkInputs(dst, vectors); err != nil {
-		return err
-	}
+// sanitize returns the proposals with every non-finite vector replaced
+// by a shared zero vector of dimension dim, copying the slice only when
+// a replacement is needed (copy-on-write: the caller's slice is never
+// mutated). The second result reports whether anything was replaced.
+func sanitize(vectors [][]float64, dim int) ([][]float64, bool) {
 	sanitized := vectors
 	var replaced []float64 // shared zero vector, allocated lazily
-	for i, v := range vectors {
-		if vec.AllFinite(v) {
-			continue
-		}
-		if replaced == nil {
-			// Copy-on-write: never mutate the caller's slice of
-			// proposals, only our view of it.
-			sanitized = append([][]float64(nil), vectors...)
-			replaced = make([]float64, len(dst))
-		}
-		sanitized[i] = replaced
-	}
-	if err := g.Inner.Aggregate(dst, sanitized); err != nil {
-		return fmt.Errorf("guarded %s: %w", g.Inner.Name(), err)
-	}
-	return nil
-}
-
-// Select implements Selector when the inner rule does, applying the
-// same sanitization so selection histograms stay meaningful under
-// malformed input.
-func (g FiniteGuard) Select(vectors [][]float64) ([]int, error) {
-	sel, ok := g.Inner.(Selector)
-	if !ok {
-		return nil, fmt.Errorf("inner rule %T is not a Selector: %w", g.Inner, ErrBadParameter)
-	}
-	sanitized := vectors
-	var replaced []float64
-	dim := 0
-	if len(vectors) > 0 {
-		dim = len(vectors[0])
-	}
 	for i, v := range vectors {
 		if vec.AllFinite(v) {
 			continue
@@ -87,5 +47,67 @@ func (g FiniteGuard) Select(vectors [][]float64) ([]int, error) {
 		}
 		sanitized[i] = replaced
 	}
-	return sel.Select(sanitized)
+	return sanitized, replaced != nil
+}
+
+// Name implements Rule.
+func (g FiniteGuard) Name() string {
+	if g.Inner == nil {
+		return "finiteguard(nil)"
+	}
+	return "finiteguard(" + g.Inner.Name() + ")"
+}
+
+// AggregateContext implements ContextRule: when no proposal needs
+// replacement the inner rule runs against the SHARED context (and its
+// memoized distance matrix); otherwise a fresh context over the
+// sanitized view is used, since the shared matrix no longer describes
+// the sanitized proposals.
+func (g FiniteGuard) AggregateContext(dst []float64, ctx *RoundContext) error {
+	if g.Inner == nil {
+		return fmt.Errorf("nil inner rule: %w", ErrBadParameter)
+	}
+	if err := checkInputs(dst, ctx.Vectors()); err != nil {
+		return err
+	}
+	sanitized, changed := sanitize(ctx.Vectors(), len(dst))
+	inner := ctx
+	if changed {
+		inner = NewRoundContext(sanitized).SetParallel(ctx.parallel)
+	}
+	if err := AggregateContext(g.Inner, dst, inner); err != nil {
+		return fmt.Errorf("guarded %s: %w", g.Inner.Name(), err)
+	}
+	return nil
+}
+
+// Aggregate implements Rule.
+func (g FiniteGuard) Aggregate(dst []float64, vectors [][]float64) error {
+	return g.AggregateContext(dst, NewRoundContext(vectors))
+}
+
+// SelectContext implements ContextSelector semantics when the inner
+// rule is a Selector, with the same context reuse as AggregateContext.
+func (g FiniteGuard) SelectContext(ctx *RoundContext) ([]int, error) {
+	sel, ok := g.Inner.(Selector)
+	if !ok {
+		return nil, fmt.Errorf("inner rule %T is not a Selector: %w", g.Inner, ErrBadParameter)
+	}
+	dim := 0
+	if ctx.N() > 0 {
+		dim = len(ctx.Vectors()[0])
+	}
+	sanitized, changed := sanitize(ctx.Vectors(), dim)
+	inner := ctx
+	if changed {
+		inner = NewRoundContext(sanitized).SetParallel(ctx.parallel)
+	}
+	return SelectContext(sel, inner)
+}
+
+// Select implements Selector when the inner rule does, applying the
+// same sanitization so selection histograms stay meaningful under
+// malformed input.
+func (g FiniteGuard) Select(vectors [][]float64) ([]int, error) {
+	return g.SelectContext(NewRoundContext(vectors))
 }

@@ -40,8 +40,10 @@ type Krum struct {
 func NewKrum(f int) *Krum { return &Krum{F: f} }
 
 var (
-	_ Rule     = (*Krum)(nil)
-	_ Selector = (*Krum)(nil)
+	_ Rule            = (*Krum)(nil)
+	_ Selector        = (*Krum)(nil)
+	_ ContextRule     = (*Krum)(nil)
+	_ ContextSelector = (*Krum)(nil)
 )
 
 // Name implements Rule.
@@ -63,59 +65,85 @@ func (k *Krum) validateN(n int) error {
 	return nil
 }
 
-// Scores returns the Krum score s(i) for every proposed vector. The
-// returned slice is freshly allocated.
-func (k *Krum) Scores(vectors [][]float64) ([]float64, error) {
+// scoresInto writes the Krum score s(i) of every proposal into scores
+// (length n), reusing the context's shared distance matrix and a pooled
+// selection heap.
+func (k *Krum) scoresInto(ctx *RoundContext, scores []float64) error {
+	vectors := ctx.Vectors()
 	n := len(vectors)
 	if n == 0 {
-		return nil, ErrNoVectors
+		return ErrNoVectors
 	}
 	if err := k.validateN(n); err != nil {
-		return nil, err
+		return err
 	}
 	d := len(vectors[0])
 	for i, v := range vectors {
 		if len(v) != d {
-			return nil, fmt.Errorf("vector %d has dimension %d, want %d: %w", i, len(v), d, ErrDimensionMismatch)
+			return fmt.Errorf("vector %d has dimension %d, want %d: %w", i, len(v), d, ErrDimensionMismatch)
 		}
 	}
 	neighbours := n - k.F - 2
-	var dm *vec.DistanceMatrix
-	if k.Parallel > 1 {
-		dm = vec.NewDistanceMatrixParallel(vectors, k.Parallel)
-	} else {
-		dm = vec.NewDistanceMatrix(vectors)
-	}
-	scores := make([]float64, n)
-	scratch := make([]float64, neighbours)
+	ctx.EnsureParallel(k.Parallel)
+	dm := ctx.Distances()
+	scratch := vec.GetFloats(neighbours)
+	defer vec.PutFloats(scratch)
 	for i := 0; i < n; i++ {
 		scores[i] = dm.SumKSmallestExcludingSelf(i, neighbours, scratch)
 	}
+	return nil
+}
+
+// Scores returns the Krum score s(i) for every proposed vector. The
+// returned slice is freshly allocated.
+func (k *Krum) Scores(vectors [][]float64) ([]float64, error) {
+	scores := make([]float64, len(vectors))
+	if err := k.scoresInto(k.round(vectors), scores); err != nil {
+		return nil, err
+	}
 	return scores, nil
+}
+
+// round builds the standalone context used by the plain (non-engine)
+// entry points.
+func (k *Krum) round(vectors [][]float64) *RoundContext {
+	return NewRoundContext(vectors).SetParallel(k.Parallel)
+}
+
+// SelectContext implements ContextSelector against a shared round.
+func (k *Krum) SelectContext(ctx *RoundContext) ([]int, error) {
+	scores := vec.GetFloats(ctx.N())
+	defer vec.PutFloats(scores)
+	if err := k.scoresInto(ctx, scores); err != nil {
+		return nil, err
+	}
+	return []int{vec.Argmin(scores)}, nil
 }
 
 // Select implements Selector: it returns the index i* of the score
 // minimiser (a single-element slice). Ties resolve to the smallest index
 // because Argmin keeps the first minimum.
 func (k *Krum) Select(vectors [][]float64) ([]int, error) {
-	scores, err := k.Scores(vectors)
-	if err != nil {
-		return nil, err
+	return k.SelectContext(k.round(vectors))
+}
+
+// AggregateContext implements ContextRule: dst = V_{i*} with the score
+// pass running over the shared distance matrix.
+func (k *Krum) AggregateContext(dst []float64, ctx *RoundContext) error {
+	if err := checkInputs(dst, ctx.Vectors()); err != nil {
+		return err
 	}
-	return []int{vec.Argmin(scores)}, nil
+	sel, err := k.SelectContext(ctx)
+	if err != nil {
+		return err
+	}
+	copy(dst, ctx.Vectors()[sel[0]])
+	return nil
 }
 
 // Aggregate implements Rule: dst = V_{i*}.
 func (k *Krum) Aggregate(dst []float64, vectors [][]float64) error {
-	if err := checkInputs(dst, vectors); err != nil {
-		return err
-	}
-	sel, err := k.Select(vectors)
-	if err != nil {
-		return err
-	}
-	copy(dst, vectors[sel[0]])
-	return nil
+	return k.AggregateContext(dst, k.round(vectors))
 }
 
 // MultiKrum is the m-Krum variant discussed in the full version of the
@@ -139,43 +167,57 @@ type MultiKrum struct {
 func NewMultiKrum(f, m int) *MultiKrum { return &MultiKrum{F: f, M: m} }
 
 var (
-	_ Rule     = (*MultiKrum)(nil)
-	_ Selector = (*MultiKrum)(nil)
+	_ Rule            = (*MultiKrum)(nil)
+	_ Selector        = (*MultiKrum)(nil)
+	_ ContextRule     = (*MultiKrum)(nil)
+	_ ContextSelector = (*MultiKrum)(nil)
 )
 
 // Name implements Rule.
 func (mk *MultiKrum) Name() string { return fmt.Sprintf("multikrum(m=%d)", mk.M) }
 
-// Select returns the indices of the M smallest-score vectors ordered by
-// (score, index).
-func (mk *MultiKrum) Select(vectors [][]float64) ([]int, error) {
+// SelectContext implements ContextSelector against a shared round.
+func (mk *MultiKrum) SelectContext(ctx *RoundContext) ([]int, error) {
 	if mk.M < 1 {
 		return nil, fmt.Errorf("m = %d (need m ≥ 1): %w", mk.M, ErrBadParameter)
 	}
-	if mk.M > len(vectors) {
-		return nil, fmt.Errorf("m = %d exceeds n = %d: %w", mk.M, len(vectors), ErrBadParameter)
+	if mk.M > ctx.N() {
+		return nil, fmt.Errorf("m = %d exceeds n = %d: %w", mk.M, ctx.N(), ErrBadParameter)
 	}
 	inner := Krum{F: mk.F, Strict: mk.Strict}
-	scores, err := inner.Scores(vectors)
-	if err != nil {
+	scores := vec.GetFloats(ctx.N())
+	defer vec.PutFloats(scores)
+	if err := inner.scoresInto(ctx, scores); err != nil {
 		return nil, err
 	}
 	return vec.KSmallestIndices(scores, -1, mk.M), nil
 }
 
-// Aggregate implements Rule: dst = (1/M)·Σ V_i over the selected set.
-func (mk *MultiKrum) Aggregate(dst []float64, vectors [][]float64) error {
-	if err := checkInputs(dst, vectors); err != nil {
+// Select returns the indices of the M smallest-score vectors ordered by
+// (score, index).
+func (mk *MultiKrum) Select(vectors [][]float64) ([]int, error) {
+	return mk.SelectContext(NewRoundContext(vectors))
+}
+
+// AggregateContext implements ContextRule: dst = (1/M)·Σ V_i over the
+// selected set, scored on the shared distance matrix.
+func (mk *MultiKrum) AggregateContext(dst []float64, ctx *RoundContext) error {
+	if err := checkInputs(dst, ctx.Vectors()); err != nil {
 		return err
 	}
-	sel, err := mk.Select(vectors)
+	sel, err := mk.SelectContext(ctx)
 	if err != nil {
 		return err
 	}
 	vec.Zero(dst)
 	for _, i := range sel {
-		vec.Axpy(1, vectors[i], dst)
+		vec.Axpy(1, ctx.Vectors()[i], dst)
 	}
 	vec.Scale(1/float64(len(sel)), dst)
 	return nil
+}
+
+// Aggregate implements Rule: dst = (1/M)·Σ V_i over the selected set.
+func (mk *MultiKrum) Aggregate(dst []float64, vectors [][]float64) error {
+	return mk.AggregateContext(dst, NewRoundContext(vectors))
 }

@@ -28,15 +28,18 @@ type KrumK struct {
 }
 
 var (
-	_ Rule     = (*KrumK)(nil)
-	_ Selector = (*KrumK)(nil)
+	_ Rule            = (*KrumK)(nil)
+	_ Selector        = (*KrumK)(nil)
+	_ ContextRule     = (*KrumK)(nil)
+	_ ContextSelector = (*KrumK)(nil)
 )
 
 // Name implements Rule.
 func (k *KrumK) Name() string { return fmt.Sprintf("krumk(k=%d)", k.K) }
 
-// Select implements Selector.
-func (k *KrumK) Select(vectors [][]float64) ([]int, error) {
+// SelectContext implements ContextSelector against a shared round.
+func (k *KrumK) SelectContext(ctx *RoundContext) ([]int, error) {
+	vectors := ctx.Vectors()
 	n := len(vectors)
 	if n == 0 {
 		return nil, ErrNoVectors
@@ -50,24 +53,36 @@ func (k *KrumK) Select(vectors [][]float64) ([]int, error) {
 			return nil, fmt.Errorf("vector %d has dimension %d, want %d: %w", i, len(v), d, ErrDimensionMismatch)
 		}
 	}
-	dm := vec.NewDistanceMatrix(vectors)
-	scores := make([]float64, n)
-	scratch := make([]float64, k.K)
+	dm := ctx.Distances()
+	scores := vec.GetFloats(n)
+	scratch := vec.GetFloats(k.K)
+	defer vec.PutFloats(scores)
+	defer vec.PutFloats(scratch)
 	for i := 0; i < n; i++ {
 		scores[i] = dm.SumKSmallestExcludingSelf(i, k.K, scratch)
 	}
 	return []int{vec.Argmin(scores)}, nil
 }
 
-// Aggregate implements Rule.
-func (k *KrumK) Aggregate(dst []float64, vectors [][]float64) error {
-	if err := checkInputs(dst, vectors); err != nil {
+// Select implements Selector.
+func (k *KrumK) Select(vectors [][]float64) ([]int, error) {
+	return k.SelectContext(NewRoundContext(vectors))
+}
+
+// AggregateContext implements ContextRule.
+func (k *KrumK) AggregateContext(dst []float64, ctx *RoundContext) error {
+	if err := checkInputs(dst, ctx.Vectors()); err != nil {
 		return err
 	}
-	sel, err := k.Select(vectors)
+	sel, err := k.SelectContext(ctx)
 	if err != nil {
 		return err
 	}
-	copy(dst, vectors[sel[0]])
+	copy(dst, ctx.Vectors()[sel[0]])
 	return nil
+}
+
+// Aggregate implements Rule.
+func (k *KrumK) Aggregate(dst []float64, vectors [][]float64) error {
+	return k.AggregateContext(dst, NewRoundContext(vectors))
 }

@@ -5,7 +5,6 @@ import (
 	"io"
 	"math"
 
-	"krum"
 	"krum/attack"
 	"krum/internal/core"
 	"krum/internal/metrics"
@@ -46,14 +45,24 @@ func RunAblation(w io.Writer, scale Scale, seed uint64) (*AblationResult, error)
 	trials := pick(scale, 300, 2000)
 	rng := vec.NewRNG(seed)
 
-	rules := []core.Rule{
-		krum.Average{},
-		krum.NewKrum(f),
-		krum.NewMultiKrum(f, n-2*f),
-		krum.NewBulyan(f),
-		krum.CoordMedian{},
-		krum.TrimmedMean{Trim: f},
-		krum.GeoMedian{},
+	// Rules come from the central registry with (n, f) as defaults.
+	specCtx := core.SpecContext{N: n, F: f}
+	specs := []string{
+		"average",
+		"krum",
+		fmt.Sprintf("multikrum(m=%d)", n-2*f),
+		"bulyan",
+		"coordmedian",
+		"trimmedmean",
+		"geomedian",
+	}
+	rules := make([]core.Rule, 0, len(specs))
+	for _, spec := range specs {
+		rule, err := core.ParseRuleIn(specCtx, spec)
+		if err != nil {
+			return nil, fmt.Errorf("rule %q: %w", spec, err)
+		}
+		rules = append(rules, rule)
 	}
 	atk := attack.HiddenCoordinate{Coordinate: coord, Margin: 1}
 

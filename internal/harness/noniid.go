@@ -73,11 +73,17 @@ func RunNonIID(w io.Writer, scale Scale, seed uint64) (*NonIIDResult, error) {
 	}
 
 	res := &NonIIDResult{N: n}
-	rules := []core.Rule{
-		krum.Average{},
-		krum.NewKrum(2),
-		krum.NewMultiKrum(2, n-2),
-		krum.CoordMedian{},
+	// Rules come from the central registry; the experiment declares a
+	// nominal tolerance f = 2 even though every worker is honest.
+	specCtx := core.SpecContext{N: n, F: 2}
+	specs := []string{"average", "krum", fmt.Sprintf("multikrum(m=%d)", n-2), "coordmedian"}
+	rules := make([]core.Rule, 0, len(specs))
+	for _, spec := range specs {
+		rule, err := core.ParseRuleIn(specCtx, spec)
+		if err != nil {
+			return nil, fmt.Errorf("rule %q: %w", spec, err)
+		}
+		rules = append(rules, rule)
 	}
 	for _, rule := range rules {
 		iidCfg := base

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"krum"
 	"krum/attack"
 	"krum/internal/core"
 	"krum/internal/metrics"
@@ -46,12 +45,17 @@ func RunTable1(w io.Writer, scale Scale, seed uint64) (*Table1Result, error) {
 		attack.LittleIsEnough{},
 		attack.HiddenCoordinate{Coordinate: 3},
 	}
-	rules := []core.Rule{
-		krum.NewKrum(f),
-		krum.NewMultiKrum(f, 4),
-		krum.Medoid{},
-		krum.NewMinimalDiameter(f),
-		krum.NewBulyan(2), // n = 13 allows f ≤ 2 for Bulyan (n ≥ 4f+3)
+	// Rules come from the central registry; f defaults to the cluster
+	// shape via SpecContext. Bulyan's default f clamps to 2 at n = 13
+	// (n ≥ 4f+3).
+	specCtx := core.SpecContext{N: n, F: f}
+	rules := make([]core.Rule, 0, 5)
+	for _, spec := range []string{"krum", "multikrum(m=4)", "medoid", "minimaldiameter", "bulyan"} {
+		rule, err := core.ParseRuleIn(specCtx, spec)
+		if err != nil {
+			return nil, fmt.Errorf("rule %q: %w", spec, err)
+		}
+		rules = append(rules, rule)
 	}
 
 	res := &Table1Result{N: n, F: f}

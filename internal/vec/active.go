@@ -1,0 +1,88 @@
+package vec
+
+// ActiveSet is a logical row/column deletion view over a DistanceMatrix:
+// vectors can be deactivated one by one without recomputing (or copying)
+// any distance. It is the memoization device behind the iterated-Krum
+// phase of Bulyan: the O(n²·d) matrix is built once, and each of the
+// θ = n − 2f selection rounds only masks the previous winner out of the
+// score sums — Θ(n²) per round instead of Θ(n²·d).
+//
+// Indices handed to ActiveSet methods are always ORIGINAL indices into
+// the matrix the view was created from; the view never renumbers.
+type ActiveSet struct {
+	m     *DistanceMatrix
+	alive []bool
+	count int
+}
+
+// NewActiveSet returns a view over m with every vector active.
+func NewActiveSet(m *DistanceMatrix) *ActiveSet {
+	alive := make([]bool, m.N())
+	for i := range alive {
+		alive[i] = true
+	}
+	return &ActiveSet{m: m, alive: alive, count: m.N()}
+}
+
+// Count returns the number of active vectors.
+func (a *ActiveSet) Count() int { return a.count }
+
+// Alive reports whether vector i is still active.
+func (a *ActiveSet) Alive(i int) bool { return a.alive[i] }
+
+// Deactivate logically deletes vector i from the view. Deactivating an
+// already-inactive vector is a no-op.
+func (a *ActiveSet) Deactivate(i int) {
+	if a.alive[i] {
+		a.alive[i] = false
+		a.count--
+	}
+}
+
+// AppendAlive appends the active original indices in ascending order to
+// dst and returns the extended slice.
+func (a *ActiveSet) AppendAlive(dst []int) []int {
+	for i, ok := range a.alive {
+		if ok {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// SumKSmallest returns the sum of the k smallest squared distances from
+// active vector i to the OTHER active vectors (the self-distance and
+// every deactivated vector are excluded). With k = m − f − 2 over the m
+// active vectors this is exactly the Krum score of the shrunken pool,
+// computed without rebuilding anything.
+//
+// scratch must have capacity ≥ k; it is used as the same bounded
+// max-heap as DistanceMatrix.SumKSmallestExcludingSelf, so masked and
+// unmasked score extraction accumulate in the identical order and agree
+// bit for bit.
+func (a *ActiveSet) SumKSmallest(i, k int, scratch []float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	row := a.m.Row(i)
+	heap := scratch[:0]
+	for j, v := range row {
+		if j == i || !a.alive[j] {
+			continue
+		}
+		if len(heap) < k {
+			heap = append(heap, v)
+			siftUp(heap, len(heap)-1)
+			continue
+		}
+		if v < heap[0] {
+			heap[0] = v
+			siftDown(heap, 0)
+		}
+	}
+	var s float64
+	for _, v := range heap {
+		s += v
+	}
+	return s
+}

@@ -1,5 +1,16 @@
 package vec
 
+import "sync/atomic"
+
+// matrixBuilds counts DistanceMatrix constructions process-wide; tests
+// use it to assert memoization ("exactly one matrix per aggregation").
+var matrixBuilds atomic.Uint64
+
+// MatrixBuildCount returns the number of distance matrices built since
+// process start. It is test instrumentation: take a snapshot, run the
+// code under test, and diff.
+func MatrixBuildCount() uint64 { return matrixBuilds.Load() }
+
 // DistanceMatrix holds the full symmetric matrix of pairwise squared
 // Euclidean distances between n vectors, stored densely (n×n, row major).
 // The diagonal is zero. It is the O(n²·d) object at the heart of Krum
@@ -13,6 +24,7 @@ type DistanceMatrix struct {
 // given vectors. Cost: exactly n·(n−1)/2 distance evaluations of d
 // multiply-adds each, i.e. Θ(n²·d).
 func NewDistanceMatrix(vectors [][]float64) *DistanceMatrix {
+	matrixBuilds.Add(1)
 	n := len(vectors)
 	m := &DistanceMatrix{n: n, d: make([]float64, n*n)}
 	for i := 0; i < n; i++ {

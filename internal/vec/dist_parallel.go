@@ -20,6 +20,7 @@ func NewDistanceMatrixParallel(vectors [][]float64, workers int) *DistanceMatrix
 	if workers == 1 || n < 4 {
 		return NewDistanceMatrix(vectors)
 	}
+	matrixBuilds.Add(1)
 	m := &DistanceMatrix{n: n, d: make([]float64, n*n)}
 	// Enumerate the upper-triangle pairs once so strided assignment
 	// balances load regardless of row length.

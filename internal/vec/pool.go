@@ -1,0 +1,37 @@
+package vec
+
+import "sync"
+
+// Pooled scratch buffers for the score/selection workspaces of the
+// aggregation rules. The parameter-server round loop calls the rules at
+// high frequency with identically-sized workspaces (n scores, k-sized
+// selection heaps, d-sized update vectors), which makes them ideal
+// sync.Pool citizens: steady-state rounds run allocation-free.
+//
+// Contents of a pooled buffer are ARBITRARY — callers must fully
+// overwrite (or use the slice in append-from-zero fashion, s[:0]).
+
+var floatPool sync.Pool // stores *[]float64
+
+// GetFloats returns a length-n float64 slice with arbitrary contents,
+// recycled from the pool when one with sufficient capacity is available.
+// Release it with PutFloats when done.
+func GetFloats(n int) []float64 {
+	if v := floatPool.Get(); v != nil {
+		s := *v.(*[]float64)
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// PutFloats recycles a slice obtained from GetFloats (or any float64
+// slice the caller no longer needs). The caller must not use s after.
+func PutFloats(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	floatPool.Put(&s)
+}

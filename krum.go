@@ -31,6 +31,36 @@
 //	out := make([]float64, d)
 //	if err := rule.Aggregate(out, proposals); err != nil { ... }
 //
+// # Choosing a rule by spec string
+//
+// Every rule lives in a central registry and is constructible from a
+// compact spec string — the form used by the CLI binaries and by
+// distsgd.Config.RuleSpec:
+//
+//	rule, err := krum.ParseRule("multikrum(f=2,m=5)")
+//	rule, err = krum.ParseRuleIn(krum.SpecContext{N: 15, F: 3}, "krum") // f defaults to 3
+//
+// Names and parameters are case-insensitive; omitted parameters fall
+// back to the SpecContext cluster shape. RuleNames lists the registered
+// set, RuleUsage renders a generated help line (the CLI -rule help text
+// is built from it, so it can never drift), and RegisterRule adds
+// custom rules to the same namespace.
+//
+// # Shared aggregation engine
+//
+// Distance-based rules all revolve around the same O(n²·d) pairwise
+// distance matrix (Lemma 4.1). An Engine hands out one RoundContext per
+// round of proposals so that selection tracking, aggregation, and any
+// diagnostics build that matrix exactly once:
+//
+//	engine := krum.NewEngine(0)
+//	sel, _ := engine.Select(rule, proposals)      // builds the matrix
+//	_ = engine.Aggregate(rule, out, proposals)    // rebuilds it (new round)
+//
+// distsgd.Run uses the engine internally; Bulyan's iterated-Krum phase
+// is memoized on the same machinery (Θ(n²·d + θ·n²) instead of
+// Θ(θ·n²·d)).
+//
 // or train end to end against an attack with package
 // krum/distsgd:
 //
@@ -124,6 +154,33 @@ type ClippedMean = core.ClippedMean
 // real deployments.
 type KrumK = core.KrumK
 
+// SpecContext supplies cluster-shape defaults (n, f) for rule-spec
+// parameters the spec string omits; see ParseRuleIn.
+type SpecContext = core.SpecContext
+
+// RuleFactory builds a rule from a parsed spec; see RegisterRule.
+type RuleFactory = core.Factory
+
+// RuleArgs holds the key=value parameters of a parsed rule spec.
+type RuleArgs = core.Args
+
+// Engine is the shared aggregation engine: it hands out one
+// RoundContext per round so every rule invocation over the same
+// proposals shares a single distance matrix.
+type Engine = core.Engine
+
+// RoundContext carries one round's proposals plus the lazily-built,
+// memoized pairwise distance matrix shared by distance-based rules.
+type RoundContext = core.RoundContext
+
+// ContextSelector is implemented by selection rules that can run
+// against a shared RoundContext.
+type ContextSelector = core.ContextSelector
+
+// ContextRule is implemented by rules whose aggregation can run against
+// a shared RoundContext.
+type ContextRule = core.ContextRule
+
 // Sentinel errors re-exported from the core implementation.
 var (
 	// ErrNoVectors is returned when a rule receives zero proposals.
@@ -157,6 +214,43 @@ func NewMinimalDiameter(f int) *MinimalDiameter { return core.NewMinimalDiameter
 // NewBulyan returns the Bulyan rule tolerating f Byzantine workers
 // (requires n ≥ 4f + 3 proposals).
 func NewBulyan(f int) *Bulyan { return core.NewBulyan(f) }
+
+// ParseRule constructs a rule from a registry spec string such as
+// "krum(f=2)" or "multikrum(f=2,m=5)". Parameters without a universal
+// default must be spelled out; use ParseRuleIn to supply cluster-shape
+// defaults instead.
+func ParseRule(spec string) (Rule, error) { return core.ParseRule(spec) }
+
+// ParseRuleIn constructs a rule from a spec string with cluster-shape
+// defaults: ParseRuleIn(SpecContext{N: 15, F: 3}, "krum") yields
+// Krum{F: 3}. Unknown names and malformed parameters are reported as
+// wrapped ErrBadParameter.
+func ParseRuleIn(ctx SpecContext, spec string) (Rule, error) { return core.ParseRuleIn(ctx, spec) }
+
+// RegisterRule adds a custom rule factory to the central registry under
+// the given (case-insensitive) name; it panics on duplicates.
+func RegisterRule(name string, f RuleFactory) { core.Register(name, f) }
+
+// RuleNames returns the sorted names of every registered rule.
+func RuleNames() []string { return core.Names() }
+
+// SplitRuleSpecs splits a comma-separated list of rule specs, keeping
+// commas inside parameter parentheses: "krum,multikrum(f=2,m=3)" is
+// two specs.
+func SplitRuleSpecs(list string) []string { return core.SplitSpecs(list) }
+
+// RuleUsage returns a generated one-line summary of every registered
+// rule with its parameters — CLI help text is built from this.
+func RuleUsage() string { return core.Usage() }
+
+// NewEngine returns a shared aggregation engine building each round's
+// distance matrix with the given number of goroutines (0 = serial).
+func NewEngine(parallel int) *Engine { return core.NewEngine(parallel) }
+
+// NewRoundContext returns a context over one round's proposals; rules
+// invoked through it (core.SelectContext / core.AggregateContext) share
+// a single memoized distance matrix.
+func NewRoundContext(vectors [][]float64) *RoundContext { return core.NewRoundContext(vectors) }
 
 // Eta returns η(n, f) of Proposition 4.2, the constant relating the
 // gradient-estimator deviation to the resilience angle via
