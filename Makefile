@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench
+# The tracked perf-trajectory benchmarks `make bench` records in
+# BENCH_scenario.json: the memoized Bulyan kernel and the concurrent
+# scenario-matrix runner throughput.
+TRACKED_BENCHES ?= BenchmarkBulyanMemoized|BenchmarkScenarioMatrixRunner
+
+.PHONY: check fmt vet build test bench bench-all
 
 # check is the CI gate: formatting, static analysis, build, tests.
 check: fmt vet build test
@@ -18,5 +23,18 @@ build:
 test:
 	$(GO) test ./...
 
+# bench runs the tracked benchmarks and emits BENCH_scenario.json:
+# parsed metrics plus the raw `go test -bench` text in the "raw" field
+# (benchstat-compatible — extract it to compare two runs). CI runs this
+# as a non-blocking step so the perf trajectory is recorded per commit.
+# The intermediate file (not a pipe) makes a bench failure fail the
+# target instead of silently recording an empty trajectory.
 bench:
+	$(GO) test -run '^$$' -bench '$(TRACKED_BENCHES)' -benchmem -count 1 . > BENCH_scenario.txt
+	$(GO) run ./cmd/krum-benchjson < BENCH_scenario.txt > BENCH_scenario.json
+	@rm -f BENCH_scenario.txt
+	@cat BENCH_scenario.json
+
+# bench-all is the full local benchmark sweep (figures + kernels).
+bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -89,20 +89,30 @@ func (None) Propose(ctx *Context) [][]float64 {
 // high-variance isotropic Gaussian (the paper uses σ = 200), i.e. pure
 // garbage that averaging happily folds in.
 type Gaussian struct {
-	// Sigma is the per-coordinate standard deviation (paper: 200).
+	// Sigma is the per-coordinate standard deviation. Defaults to the
+	// paper's 200 when 0.
 	Sigma float64
 }
 
 var _ Strategy = Gaussian{}
 
-// Name implements Strategy.
-func (g Gaussian) Name() string { return fmt.Sprintf("gaussian(σ=%g)", g.Sigma) }
+// Name implements Strategy. The returned string is a valid registry
+// spec reporting the effective sigma: Parse(g.Name()) reconstructs the
+// attack.
+func (g Gaussian) Name() string { return fmt.Sprintf("gaussian(sigma=%g)", g.effSigma()) }
+
+func (g Gaussian) effSigma() float64 {
+	if g.Sigma == 0 {
+		return 200
+	}
+	return g.Sigma
+}
 
 // Propose implements Strategy.
 func (g Gaussian) Propose(ctx *Context) [][]float64 {
 	out := make([][]float64, ctx.F)
 	for i := range out {
-		out[i] = ctx.RNG.NewNormal(ctx.dim(), 0, g.Sigma)
+		out[i] = ctx.RNG.NewNormal(ctx.dim(), 0, g.effSigma())
 	}
 	return out
 }
@@ -119,8 +129,9 @@ type Omniscient struct {
 
 var _ Strategy = Omniscient{}
 
-// Name implements Strategy.
-func (o Omniscient) Name() string { return fmt.Sprintf("omniscient(×%g)", o.effScale()) }
+// Name implements Strategy. The returned string is a valid registry
+// spec reporting the effective scale.
+func (o Omniscient) Name() string { return fmt.Sprintf("omniscient(scale=%g)", o.effScale()) }
 
 func (o Omniscient) effScale() float64 {
 	if o.Scale == 0 {
@@ -239,8 +250,11 @@ type MedoidCollusion struct {
 
 var _ Strategy = MedoidCollusion{}
 
-// Name implements Strategy.
-func (m MedoidCollusion) Name() string { return "medoidcollusion" }
+// Name implements Strategy. The returned string is a valid registry
+// spec reporting the effective offset.
+func (m MedoidCollusion) Name() string {
+	return fmt.Sprintf("medoidcollusion(offset=%g)", m.effOffset())
+}
 
 func (m MedoidCollusion) effOffset() float64 {
 	if m.Offset == 0 {

@@ -240,7 +240,7 @@ func TestEmptyCorrectFallbacks(t *testing.T) {
 }
 
 func TestStrategyNamesAreStable(t *testing.T) {
-	if (Gaussian{Sigma: 200}).Name() != "gaussian(σ=200)" {
+	if (Gaussian{Sigma: 200}).Name() != "gaussian(sigma=200)" {
 		t.Errorf("gaussian name: %s", Gaussian{Sigma: 200}.Name())
 	}
 	if got := (Crash{After: 3}).Name(); got != "crash(after=3)" {

@@ -27,9 +27,10 @@ type HiddenCoordinate struct {
 
 var _ Strategy = HiddenCoordinate{}
 
-// Name implements Strategy.
+// Name implements Strategy. The returned string is a valid registry
+// spec reporting the effective margin.
 func (h HiddenCoordinate) Name() string {
-	return fmt.Sprintf("hiddencoord(j=%d)", h.Coordinate)
+	return fmt.Sprintf("hiddencoord(j=%d,margin=%g)", h.Coordinate, h.effMargin())
 }
 
 func (h HiddenCoordinate) effMargin() float64 {

@@ -68,7 +68,7 @@ func TestHiddenCoordinateSpikeScalesWithSpread(t *testing.T) {
 }
 
 func TestHiddenCoordinateName(t *testing.T) {
-	if got := (HiddenCoordinate{Coordinate: 7}).Name(); got != "hiddencoord(j=7)" {
+	if got := (HiddenCoordinate{Coordinate: 7}).Name(); got != "hiddencoord(j=7,margin=1)" {
 		t.Errorf("name %q", got)
 	}
 	if (HiddenCoordinate{}).effMargin() != 1 {

@@ -25,7 +25,8 @@ type LittleIsEnough struct {
 
 var _ Strategy = LittleIsEnough{}
 
-// Name implements Strategy.
+// Name implements Strategy. The returned string is a valid registry
+// spec reporting the effective shift.
 func (l LittleIsEnough) Name() string { return fmt.Sprintf("littleisenough(z=%g)", l.effZ()) }
 
 func (l LittleIsEnough) effZ() float64 {

@@ -1,0 +1,160 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"krum/internal/spec"
+)
+
+// This file is the central attack registry, the Byzantine-behaviour
+// analogue of the rule registry in internal/core: every
+// spec-constructible Strategy registers a named factory, and the
+// harness, the scenario package, and the CLI binaries construct attacks
+// exclusively through Parse. Spec strings take the form
+//
+//	none | gaussian(sigma=200) | omniscient(scale=20) | crash(after=10)
+//
+// and every built-in Strategy's Name() is itself a valid spec, so
+// attacks round-trip through experiment tables and JSON scenario files:
+// Parse(s.Name()) reconstructs s.
+//
+// LinearTakeover is deliberately NOT registered: it is parameterized by
+// target and weight vectors (the Lemma 3.1 construction), which have no
+// compact spec form; build it with NewLinearTakeover.
+
+// ErrBadSpec is returned (wrapped) for malformed or unknown attack
+// specs.
+var ErrBadSpec = errors.New("attack: bad spec")
+
+// SpecArgs holds the key=value parameters of a parsed attack spec.
+type SpecArgs = spec.Args
+
+// Factory builds a Strategy from a parsed spec. Attacks take no
+// context defaults — every parameter either appears in the spec or has
+// a universal (paper) default.
+type Factory = spec.Factory[Strategy, struct{}]
+
+var registry = spec.NewRegistry[Strategy, struct{}]("attack", ErrBadSpec)
+
+// Register adds an attack factory under the given (case-insensitive)
+// name; it panics on duplicates — a programmer error at init time.
+func Register(name string, f Factory) { registry.Register(name, f) }
+
+// Parse constructs the attack described by spec. Unknown names, unknown
+// parameter keys, and malformed values are all reported as wrapped
+// ErrBadSpec.
+func Parse(s string) (Strategy, error) { return registry.Parse(struct{}{}, s) }
+
+// Names returns the registered attack names, sorted.
+func Names() []string { return registry.Names() }
+
+// Usage returns a generated one-line summary of every registered attack
+// with its accepted parameters — CLI help text is built from this so it
+// can never drift from the implemented set.
+func Usage() string { return registry.Usage() }
+
+// init registers the built-in attacks. Third-party attacks can call
+// Register from their own init functions.
+func init() {
+	Register("none", Factory{
+		Doc: "no attack: Byzantine slots replay correct proposals",
+		New: func(struct{}, SpecArgs) (Strategy, error) { return None{}, nil },
+	})
+	Register("gaussian", Factory{
+		Params: []string{"sigma"},
+		Doc:    "high-variance Gaussian garbage (full paper Figure 4; σ = 200)",
+		New: func(_ struct{}, a SpecArgs) (Strategy, error) {
+			sigma, err := a.Float("sigma", 200)
+			if err != nil {
+				return nil, err
+			}
+			if sigma <= 0 {
+				return nil, fmt.Errorf("sigma = %g must be positive: %w", sigma, ErrBadSpec)
+			}
+			return Gaussian{Sigma: sigma}, nil
+		},
+	})
+	Register("omniscient", Factory{
+		Params: []string{"scale"},
+		Doc:    "negated gradient estimate at large magnitude (full paper Figure 5)",
+		New: func(_ struct{}, a SpecArgs) (Strategy, error) {
+			scale, err := a.Float("scale", 20)
+			if err != nil {
+				return nil, err
+			}
+			if scale <= 0 {
+				return nil, fmt.Errorf("scale = %g must be positive: %w", scale, ErrBadSpec)
+			}
+			return Omniscient{Scale: scale}, nil
+		},
+	})
+	Register("signflip", Factory{
+		Doc: "exact gradient negation (stealth variant of omniscient)",
+		New: func(struct{}, SpecArgs) (Strategy, error) { return SignFlip{}, nil },
+	})
+	Register("medoidcollusion", Factory{
+		Params: []string{"offset"},
+		Doc:    "Figure 2 collusion capturing the medoid rule",
+		New: func(_ struct{}, a SpecArgs) (Strategy, error) {
+			offset, err := a.Float("offset", 1e4)
+			if err != nil {
+				return nil, err
+			}
+			if offset <= 0 {
+				return nil, fmt.Errorf("offset = %g must be positive: %w", offset, ErrBadSpec)
+			}
+			return MedoidCollusion{Offset: offset}, nil
+		},
+	})
+	Register("mimic", Factory{
+		Doc: "replay the first correct worker (value-identical control attack)",
+		New: func(struct{}, SpecArgs) (Strategy, error) { return Mimic{}, nil },
+	})
+	Register("crash", Factory{
+		Params: []string{"after"},
+		Doc:    "fail-stop workers proposing zero vectors from round `after`",
+		New: func(_ struct{}, a SpecArgs) (Strategy, error) {
+			after, err := a.Int("after", 0)
+			if err != nil {
+				return nil, err
+			}
+			if after < 0 {
+				return nil, fmt.Errorf("after = %d must be non-negative: %w", after, ErrBadSpec)
+			}
+			return Crash{After: after}, nil
+		},
+	})
+	Register("littleisenough", Factory{
+		Params: []string{"z"},
+		Doc:    "coordinated z-standard-deviation shift inside the honest cloud (NeurIPS 2019)",
+		New: func(_ struct{}, a SpecArgs) (Strategy, error) {
+			z, err := a.Float("z", 1)
+			if err != nil {
+				return nil, err
+			}
+			if z <= 0 {
+				return nil, fmt.Errorf("z = %g must be positive: %w", z, ErrBadSpec)
+			}
+			return LittleIsEnough{Z: z}, nil
+		},
+	})
+	Register("hiddencoord", Factory{
+		Params: []string{"j", "margin"},
+		Doc:    "single-coordinate spike hidden inside Krum's selection radius (ICML 2018 motivation)",
+		New: func(_ struct{}, a SpecArgs) (Strategy, error) {
+			j, err := a.Int("j", 0)
+			if err != nil {
+				return nil, err
+			}
+			margin, err := a.Float("margin", 1)
+			if err != nil {
+				return nil, err
+			}
+			if margin <= 0 {
+				return nil, fmt.Errorf("margin = %g must be positive: %w", margin, ErrBadSpec)
+			}
+			return HiddenCoordinate{Coordinate: j, Margin: margin}, nil
+		},
+	})
+}

@@ -1,0 +1,136 @@
+package attack
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseRoundTrip: every registered attack round-trips through its
+// Name() — Parse(s.Name()) reconstructs an identically-named strategy.
+// This is the property that lets experiment tables and JSON scenario
+// files identify attacks by spec string alone.
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec string
+		name string
+	}{
+		{"none", "none"},
+		{"gaussian", "gaussian(sigma=200)"},
+		{"gaussian(sigma=50)", "gaussian(sigma=50)"},
+		{"omniscient", "omniscient(scale=20)"},
+		{"omniscient(scale=5)", "omniscient(scale=5)"},
+		{"signflip", "signflip"},
+		{"medoidcollusion", "medoidcollusion(offset=10000)"},
+		{"medoidcollusion(offset=500)", "medoidcollusion(offset=500)"},
+		{"mimic", "mimic"},
+		{"crash", "crash(after=0)"},
+		{"crash(after=7)", "crash(after=7)"},
+		{"littleisenough", "littleisenough(z=1)"},
+		{"littleisenough(z=1.5)", "littleisenough(z=1.5)"},
+		{"hiddencoord", "hiddencoord(j=0,margin=1)"},
+		{"hiddencoord(j=3,margin=2)", "hiddencoord(j=3,margin=2)"},
+	}
+	for _, tc := range cases {
+		s, err := Parse(tc.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.spec, err)
+			continue
+		}
+		if s.Name() != tc.name {
+			t.Errorf("Parse(%q).Name() = %q, want %q", tc.spec, s.Name(), tc.name)
+			continue
+		}
+		again, err := Parse(s.Name())
+		if err != nil {
+			t.Errorf("round trip Parse(%q): %v", s.Name(), err)
+			continue
+		}
+		if again.Name() != s.Name() {
+			t.Errorf("round trip of %q: %q != %q", tc.spec, again.Name(), s.Name())
+		}
+	}
+}
+
+// TestEveryRegisteredAttackRoundTrips guards future registrations: a
+// new attack whose Name() is not a valid spec fails here, not in an
+// experiment table.
+func TestEveryRegisteredAttackRoundTrips(t *testing.T) {
+	for _, name := range Names() {
+		s, err := Parse(name)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", name, err)
+			continue
+		}
+		again, err := Parse(s.Name())
+		if err != nil {
+			t.Errorf("%s: Parse(Name() = %q): %v", name, s.Name(), err)
+			continue
+		}
+		if again.Name() != s.Name() {
+			t.Errorf("%s: %q != %q", name, again.Name(), s.Name())
+		}
+	}
+}
+
+func TestParseMalformedSpecs(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"nosuchattack",
+		"gaussian(",
+		"gaussian(sigma=2",
+		"gaussian)",
+		"gaussian(sigma)",
+		"gaussian(sigma=)",
+		"gaussian(=2)",
+		"gaussian(sigma=2,sigma=3)", // duplicate key
+		"gaussian(sigma=x)",         // non-numeric
+		"gaussian(sigma=-1)",        // out of range
+		"gaussian(zz=3)",            // unknown parameter
+		"crash(after=x)",
+		"crash(after=-1)",
+		"omniscient(scale=0)",
+		"littleisenough(z=0)",
+		"hiddencoord(margin=0)",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("Parse(%q) = %v, want wrapped ErrBadSpec", s, err)
+		}
+	}
+	// Unknown names enumerate the registered set.
+	_, err := Parse("nosuchattack")
+	if err == nil || !strings.Contains(err.Error(), "gaussian") {
+		t.Errorf("error should list registered names, got: %v", err)
+	}
+}
+
+func TestRegistryCaseStable(t *testing.T) {
+	for _, s := range []string{"gaussian", "Gaussian", "GAUSSIAN", "Gaussian(Sigma=50)"} {
+		a, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if !strings.HasPrefix(a.Name(), "gaussian(") {
+			t.Errorf("Parse(%q).Name() = %q", s, a.Name())
+		}
+	}
+	for _, name := range Names() {
+		if name != strings.ToLower(name) {
+			t.Errorf("registered name %q is not lower case", name)
+		}
+	}
+}
+
+func TestUsageListsEveryAttack(t *testing.T) {
+	usage := Usage()
+	for _, name := range Names() {
+		if !strings.Contains(usage, name) {
+			t.Errorf("Usage() omits %q: %s", name, usage)
+		}
+	}
+	if !strings.Contains(usage, "hiddencoord(j,margin)") {
+		t.Errorf("Usage() should document hiddencoord parameters: %s", usage)
+	}
+}

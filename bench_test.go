@@ -19,6 +19,7 @@ import (
 	"krum"
 	"krum/internal/harness"
 	"krum/internal/vec"
+	"krum/scenario"
 )
 
 // benchSeed keeps bench results stable across runs.
@@ -144,7 +145,7 @@ func BenchmarkTable1Selection(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if cell := res.Cell("gaussian(σ=200)", "krum"); cell != nil {
+		if cell := res.Cell("gaussian(sigma=200)", "krum"); cell != nil {
 			b.ReportMetric(cell.ByzSelectedRate, "krum-gauss-selrate")
 		}
 	}
@@ -233,6 +234,36 @@ func BenchmarkBulyanMemoized(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(n-2*f), "theta")
+}
+
+// BenchmarkScenarioMatrixRunner measures scenario-matrix throughput on
+// the concurrent runner — cells/sec over a 12-cell (rules × attacks ×
+// seeds) grid of short training runs. This is the tracked metric for
+// the many-concurrent-experiments serving path (`make bench`).
+func BenchmarkScenarioMatrixRunner(b *testing.B) {
+	m := scenario.Matrix{
+		Base: scenario.Spec{
+			Workload:  "gmm(k=3,dim=6,radius=4,sigma=0.5)",
+			Rule:      "krum",
+			Schedule:  "inverset(gamma=0.5,power=0.75,t0=50)",
+			N:         9,
+			F:         2,
+			Rounds:    20,
+			BatchSize: 8,
+			Seed:      benchSeed,
+		},
+		Rules:   []string{"krum", "average", "multikrum(m=5)"},
+		Attacks: []string{"none", "gaussian(sigma=200)"},
+		Seeds:   []uint64{1, 2},
+	}
+	cells := m.Size()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&scenario.Runner{}).Run(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/s")
 }
 
 // BenchmarkResilienceVerifier measures the Definition 3.2 Monte-Carlo

@@ -1,0 +1,110 @@
+// Command krum-benchjson converts `go test -bench` text output (stdin)
+// into the JSON perf-trajectory format written to BENCH_scenario.json
+// by `make bench`. The "raw" field preserves the benchmark text
+// verbatim — feed it to benchstat to compare runs — and "benchmarks"
+// carries the parsed per-benchmark metrics for dashboards.
+//
+//	go test -run '^$' -bench BenchmarkBulyanMemoized -benchmem . | krum-benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchmark is one parsed benchmark line.
+type benchmark struct {
+	// Name is the benchmark identifier including the -GOMAXPROCS
+	// suffix.
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every reported metric
+	// ("ns/op", "B/op", "allocs/op", custom b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// output is the BENCH_scenario.json schema.
+type output struct {
+	Format     string      `json:"format"`
+	Note       string      `json:"note"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+	Raw        string      `json:"raw"`
+}
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout))
+}
+
+// run is the testable body of main (exit-once rule).
+func run(in io.Reader, out io.Writer) int {
+	var raw strings.Builder
+	res := output{
+		Format: "go-bench",
+		Note:   "the raw field is benchstat-compatible `go test -bench` output",
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		raw.WriteString(line)
+		raw.WriteByte('\n')
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			res.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			res.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			res.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			res.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				res.Benchmarks = append(res.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "reading bench output: %v\n", err)
+		return 1
+	}
+	res.Raw = raw.String()
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fmt.Fprintf(os.Stderr, "encoding: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// parseBenchLine parses "BenchmarkX-8  100  123 ns/op  45 B/op ..."
+// into a benchmark; value/unit pairs follow the iteration count.
+func parseBenchLine(line string) (benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b := benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -1,21 +1,40 @@
 // Command krum-experiments regenerates every table and figure of the
-// reproduction (see EXPERIMENTS.md for the index):
+// reproduction (see EXPERIMENTS.md at the repository root for the
+// experiment → paper-claim → command index):
 //
 //	krum-experiments -exp all -scale quick
 //	krum-experiments -exp fig4 -scale full -seed 7
 //
 // Experiments: lemma31, fig2, lemma41, prop42, prop43, fig4, fig5,
-// fig6, fig7, table1, all.
+// fig6, fig7, table1, ablation, noniid, all.
+//
+// A JSON config file can drive the same experiments plus an arbitrary
+// scenario matrix (rules × attacks × f-values × seeds, every axis a
+// registry spec string) executed on a concurrent runner:
+//
+//	krum-experiments -config examples/matrix.json
+//
+// Config schema: {"experiments": ["table1"], "scale": "quick",
+// "seed": 42, "workers": 4, "matrix": {...}} — the matrix object is a
+// scenario.Matrix; run with -list to see every registered rule,
+// attack, schedule and workload spec.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 
+	"krum"
+	"krum/attack"
 	"krum/internal/harness"
+	"krum/internal/metrics"
+	"krum/scenario"
+	"krum/workload"
 )
 
 // experiment binds a name to its regenerator.
@@ -50,6 +69,23 @@ func experiments() []experiment {
 	}
 }
 
+// fileConfig is the -config JSON schema. The named experiments run
+// through exactly the code path the flags use, so a config file
+// reproduces a flag-driven invocation byte for byte; the optional
+// matrix then runs on the concurrent scenario runner.
+type fileConfig struct {
+	// Experiments names harness experiments to run in order.
+	Experiments []string `json:"experiments,omitempty"`
+	// Scale is "quick" (default) or "full".
+	Scale string `json:"scale,omitempty"`
+	// Seed is the master seed (default 42, matching the flag).
+	Seed *uint64 `json:"seed,omitempty"`
+	// Workers bounds matrix-cell concurrency (0 = NumCPU).
+	Workers int `json:"workers,omitempty"`
+	// Matrix is an optional free-form scenario grid.
+	Matrix *scenario.Matrix `json:"matrix,omitempty"`
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -59,28 +95,35 @@ func run() int {
 	expFlag := flag.String("exp", "all", "experiment to run (or 'all')")
 	scaleFlag := flag.String("scale", "quick", "quick | full")
 	seedFlag := flag.Uint64("seed", 42, "master random seed")
-	listFlag := flag.Bool("list", false, "list experiments and exit")
+	listFlag := flag.Bool("list", false, "list experiments and registry specs, then exit")
+	configFlag := flag.String("config", "", "JSON scenario config (experiments + matrix; see EXPERIMENTS.md); overrides -exp/-scale/-seed")
 	flag.Parse()
 
 	exps := experiments()
 	if *listFlag {
+		fmt.Println("experiments:")
 		for _, e := range exps {
-			fmt.Printf("%-10s %s\n", e.name, e.desc)
+			fmt.Printf("  %-10s %s\n", e.name, e.desc)
 		}
+		// Generated from the registries, so this list can never drift
+		// from the implemented set.
+		fmt.Println("\nregistry specs (usable in -config matrix files):")
+		fmt.Printf("  rules:     %s\n", krum.RuleUsage())
+		fmt.Printf("  attacks:   %s\n", attack.Usage())
+		fmt.Printf("  schedules: %s\n", krum.ScheduleUsage())
+		fmt.Printf("  workloads: %s\n", workload.Usage())
 		return 0
 	}
 
-	var scale harness.Scale
-	switch *scaleFlag {
-	case "quick":
-		scale = harness.Quick
-	case "full":
-		scale = harness.Full
-	default:
+	if *configFlag != "" {
+		return runConfig(*configFlag, exps)
+	}
+
+	scale, ok := parseScale(*scaleFlag)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown scale %q (quick|full)\n", *scaleFlag)
 		return 2
 	}
-
 	want := strings.Split(*expFlag, ",")
 	ran := 0
 	for _, e := range exps {
@@ -98,6 +141,129 @@ func run() int {
 		return 2
 	}
 	return 0
+}
+
+// runConfig executes a JSON scenario config: named experiments first
+// (identical code path to the flags), then the optional matrix on the
+// concurrent runner.
+func runConfig(path string, exps []experiment) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "config: %v\n", err)
+		return 2
+	}
+	var cfg fileConfig
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "config %s: %v\n", path, err)
+		return 2
+	}
+	scaleName := cfg.Scale
+	if scaleName == "" {
+		scaleName = "quick"
+	}
+	scale, ok := parseScale(scaleName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "config %s: unknown scale %q (quick|full)\n", path, scaleName)
+		return 2
+	}
+	seed := uint64(42)
+	if cfg.Seed != nil {
+		seed = *cfg.Seed
+	}
+
+	for _, name := range cfg.Experiments {
+		found := false
+		for _, e := range exps {
+			if e.name == name {
+				found = true
+				if err := e.run(os.Stdout, scale, seed); err != nil {
+					fmt.Fprintf(os.Stderr, "experiment %s: %v\n", e.name, err)
+					return 1
+				}
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "config %s: unknown experiment %q; use -list\n", path, name)
+			return 2
+		}
+	}
+
+	if cfg.Matrix != nil {
+		if code := runMatrix(*cfg.Matrix, cfg.Workers); code != 0 {
+			return code
+		}
+	}
+	if len(cfg.Experiments) == 0 && cfg.Matrix == nil {
+		fmt.Fprintf(os.Stderr, "config %s: nothing to run (no experiments, no matrix)\n", path)
+		return 2
+	}
+	return 0
+}
+
+// runMatrix validates and executes a scenario matrix, streaming per-cell
+// progress and rendering a deterministic summary table.
+func runMatrix(m scenario.Matrix, workers int) int {
+	if err := m.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "matrix: %v\n", err)
+		return 2
+	}
+	total := m.Size()
+	fmt.Printf("\n===== scenario matrix — %d cells =====\n", total)
+	done := 0
+	runner := &scenario.Runner{
+		Workers: workers,
+		OnCell: func(cr scenario.CellResult) {
+			done++
+			status := "error"
+			if cr.Err == nil {
+				switch {
+				case cr.Result.Diverged:
+					status = fmt.Sprintf("DIVERGED at round %d", cr.Result.DivergedRound)
+				case math.IsNaN(cr.Result.FinalTestAccuracy):
+					status = "done (no eval)"
+				default:
+					status = fmt.Sprintf("acc %.4f", cr.Result.FinalTestAccuracy)
+				}
+			}
+			fmt.Printf("[%d/%d] %s — %s\n", done, total, cr.Spec.Label(), status)
+		},
+	}
+	results, err := runner.Run(m)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "matrix: %v\n", err)
+		return 1
+	}
+
+	fmt.Println()
+	tbl := metrics.NewTable("workload", "rule", "attack", "f", "seed", "final acc", "final loss", "diverged", "byz sel rate")
+	for _, cr := range results {
+		s, r := cr.Spec, cr.Result
+		atk := s.Attack
+		if atk == "" {
+			atk = "none"
+		}
+		tbl.AddRowf(s.Workload, s.Rule, atk, s.F, s.Seed,
+			r.FinalTestAccuracy, r.FinalTestLoss, r.Diverged, r.ByzantineSelectionRate())
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "matrix table: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func parseScale(name string) (harness.Scale, bool) {
+	switch name {
+	case "quick":
+		return harness.Quick, true
+	case "full":
+		return harness.Full, true
+	default:
+		return 0, false
+	}
 }
 
 func selected(want []string, name string) bool {

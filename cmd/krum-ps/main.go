@@ -32,12 +32,14 @@ func run() int {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
 	workers := flag.Int("workers", 5, "number of workers to wait for")
 	fTol := flag.Int("f", 1, "Byzantine workers the rule tolerates")
-	// The help text is generated from the rule registry so it can never
-	// drift from the implemented set again.
+	// All help text below is generated from the central registries so it
+	// can never drift from the implemented sets.
 	ruleSpec := flag.String("rule", "krum", "aggregation rule spec: "+krum.RuleUsage())
-	workload := flag.String("workload", "mnist", fmt.Sprintf("one of %v", harness.WorkloadNames()))
+	workloadSpec := flag.String("workload", "mnist", "workload spec: "+harness.WorkloadUsage())
 	rounds := flag.Int("rounds", 200, "synchronous rounds")
-	gamma := flag.Float64("gamma", 0.5, "initial learning rate")
+	gamma := flag.Float64("gamma", 0.5, "initial learning rate (ignored when -schedule is set)")
+	schedSpec := flag.String("schedule", "",
+		"learning-rate schedule spec: "+krum.ScheduleUsage()+" (default: inverset from -gamma)")
 	evalEvery := flag.Int("eval-every", 20, "evaluate every k rounds (0 = off)")
 	seed := flag.Uint64("seed", 42, "random seed")
 	waitFor := flag.Duration("accept-timeout", 2*time.Minute, "how long to wait for workers")
@@ -45,7 +47,7 @@ func run() int {
 	loadPath := flag.String("load", "", "resume from a model checkpoint file")
 	flag.Parse()
 
-	wl, err := harness.BuildWorkload(*workload, harness.Quick, *seed)
+	wl, err := harness.BuildWorkload(*workloadSpec, harness.Quick, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "workload: %v\n", err)
 		return 2
@@ -54,6 +56,14 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		return 2
+	}
+	schedule := krum.ScheduleInverseTStretched(*gamma, 0.75, float64(*rounds)/3)
+	if *schedSpec != "" {
+		schedule, err = krum.ParseSchedule(*schedSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 2
+		}
 	}
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
@@ -91,7 +101,7 @@ func run() int {
 		Rule:      rule,
 		N:         *workers,
 		F:         0, // all proposals come over the wire; see command doc
-		Schedule:  krum.ScheduleInverseTStretched(*gamma, 0.75, float64(*rounds)/3),
+		Schedule:  schedule,
 		Rounds:    *rounds,
 		Seed:      *seed,
 		EvalEvery: *evalEvery,

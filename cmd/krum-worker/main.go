@@ -22,7 +22,7 @@ func main() {
 
 func run() int {
 	addr := flag.String("addr", "127.0.0.1:7070", "parameter server address")
-	workload := flag.String("workload", "mnist", fmt.Sprintf("one of %v (must match the server)", harness.WorkloadNames()))
+	workload := flag.String("workload", "mnist", "workload spec: "+harness.WorkloadUsage()+" (must match the server)")
 	batch := flag.Int("batch", 16, "mini-batch size")
 	behaviourName := flag.String("behaviour", "correct", "correct | gaussian | signflip | labelflip")
 	seed := flag.Uint64("seed", 1, "private sampling seed (give each worker its own)")

@@ -4,8 +4,8 @@
 // implements generative stand-ins that exercise the identical code path:
 // i.i.d. sample streams with real intra-class structure, from which
 // workers draw mini-batches to compute gradient estimates
-// (V = G(x, ξ), Section 2 of the paper). See DESIGN.md §2 for the
-// substitution rationale.
+// (V = G(x, ξ), Section 2 of the paper). See the workload substitution
+// note in EXPERIMENTS.md for the rationale.
 //
 // All generators are deterministic given an RNG, so every experiment is
 // reproducible from a single seed.

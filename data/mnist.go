@@ -14,7 +14,8 @@ import (
 // pixel noise. Each class therefore has genuine intra-class variance
 // and inter-class structure — an MLP improves steadily over SGD rounds
 // and collapses visibly under Byzantine mis-aggregation, which is all
-// the paper's Figures 4–7 require of the workload (see DESIGN.md §2).
+// the paper's Figures 4–7 require of the workload (see the workload
+// substitution note in EXPERIMENTS.md).
 //
 // Construct with NewSyntheticMNIST.
 type SyntheticMNIST struct {

@@ -71,7 +71,8 @@ type RoundStats struct {
 type Result struct {
 	// History holds one entry per executed round.
 	History []RoundStats
-	// FinalParams is x_T.
+	// FinalParams is a defensive copy of x_T: mutating it does not
+	// affect any engine-owned buffer.
 	FinalParams []float64
 	// Diverged reports that parameters left the finite range and the
 	// run stopped early (the expected outcome for linear rules under
@@ -86,10 +87,13 @@ type Result struct {
 	// SelectionTrackedRounds counts rounds where selection was
 	// observed (denominator for the rate).
 	SelectionTrackedRounds int
-	// FinalTestAccuracy and FinalTestLoss hold the last evaluation (0
-	// if the run never evaluated).
+	// FinalTestAccuracy and FinalTestLoss hold the last evaluation.
+	// They are NaN when the run never evaluated (EvalEvery = 0, or
+	// divergence before the first evaluation round) — the same sentinel
+	// convention as ByzantineSelectionRate.
 	FinalTestAccuracy float64
-	// FinalTestLoss is the held-out loss at the last evaluation.
+	// FinalTestLoss is the held-out loss at the last evaluation (NaN
+	// when never evaluated).
 	FinalTestLoss float64
 }
 
@@ -110,6 +114,15 @@ type Config struct {
 	// "krum", "multikrum(m=5)", "bulyan(f=2)". Exactly one of Rule and
 	// RuleSpec must be set.
 	RuleSpec string
+	// AttackSpec constructs Attack through the attack registry
+	// (attack.Parse) — e.g. "gaussian(sigma=200)", "omniscient". At
+	// most one of Attack and AttackSpec may be set; both empty means no
+	// attack.
+	AttackSpec string
+	// ScheduleSpec constructs Schedule through the schedule registry
+	// (sgd.ParseSchedule) — e.g. "inverset(gamma=0.5,power=0.75,t0=200)".
+	// Exactly one of Schedule and ScheduleSpec must be set.
+	ScheduleSpec string
 	// Parallel is the number of goroutines used for the shared
 	// per-round distance matrix (0 = serial); see
 	// vec.NewDistanceMatrixParallel for the d ≫ n crossover.
@@ -189,6 +202,26 @@ func Run(cfg Config) (*Result, error) {
 		}
 		cfg.Rule = rule
 	}
+	if cfg.Attack != nil && cfg.AttackSpec != "" {
+		return nil, fmt.Errorf("both Attack and AttackSpec set (%q): %w", cfg.AttackSpec, ErrConfig)
+	}
+	if cfg.Attack == nil && cfg.AttackSpec != "" {
+		atk, err := attack.Parse(cfg.AttackSpec)
+		if err != nil {
+			return nil, fmt.Errorf("attack spec %q: %w", cfg.AttackSpec, err)
+		}
+		cfg.Attack = atk
+	}
+	if cfg.Schedule != nil && cfg.ScheduleSpec != "" {
+		return nil, fmt.Errorf("both Schedule and ScheduleSpec set (%q): %w", cfg.ScheduleSpec, ErrConfig)
+	}
+	if cfg.Schedule == nil && cfg.ScheduleSpec != "" {
+		sched, err := sgd.ParseSchedule(cfg.ScheduleSpec)
+		if err != nil {
+			return nil, fmt.Errorf("schedule spec %q: %w", cfg.ScheduleSpec, err)
+		}
+		cfg.Schedule = sched
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -240,7 +273,13 @@ func Run(cfg Config) (*Result, error) {
 	proposals := make([][]float64, cfg.N)
 	update := vec.GetFloats(dim)
 	defer vec.PutFloats(update)
-	res := &Result{History: make([]RoundStats, 0, cfg.Rounds)}
+	res := &Result{
+		History: make([]RoundStats, 0, cfg.Rounds),
+		// NaN until the first evaluation — "never evaluated" is
+		// distinguishable from a genuine zero-accuracy result.
+		FinalTestAccuracy: math.NaN(),
+		FinalTestLoss:     math.NaN(),
+	}
 
 	for t := 0; t < cfg.Rounds; t++ {
 		correct, trainLoss, err := source.Gradients(params)
@@ -326,7 +365,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	res.FinalParams = params
+	res.FinalParams = vec.Clone(params)
 	return res, nil
 }
 

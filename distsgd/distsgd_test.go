@@ -323,3 +323,101 @@ func TestRunRuleSpecErrors(t *testing.T) {
 		t.Errorf("Rule+RuleSpec error = %v, want ErrConfig", err)
 	}
 }
+
+// TestRunAttackAndScheduleSpecs: the registry paths for the remaining
+// axes — spec strings must train identically to explicitly constructed
+// values, mirroring the RuleSpec contract.
+func TestRunAttackAndScheduleSpecs(t *testing.T) {
+	explicitCfg := quickConfig(t)
+	explicitCfg.Attack = attack.Gaussian{Sigma: 100}
+	explicit, err := Run(explicitCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specCfg := quickConfig(t)
+	specCfg.Attack = nil
+	specCfg.AttackSpec = "gaussian(sigma=100)"
+	specCfg.Schedule = nil
+	specCfg.ScheduleSpec = "inverset(gamma=0.5,power=0.75,t0=50)"
+	viaSpec, err := Run(specCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.ApproxEqual(explicit.FinalParams, viaSpec.FinalParams, 0) {
+		t.Error("AttackSpec/ScheduleSpec training diverged from explicit construction")
+	}
+}
+
+func TestRunAttackAndScheduleSpecErrors(t *testing.T) {
+	cfg := quickConfig(t)
+	cfg.AttackSpec = "nosuchattack"
+	if _, err := Run(cfg); !errors.Is(err, attack.ErrBadSpec) {
+		t.Errorf("unknown attack spec error = %v, want attack.ErrBadSpec", err)
+	}
+
+	both := quickConfig(t)
+	both.Attack = attack.Gaussian{Sigma: 100}
+	both.AttackSpec = "gaussian"
+	if _, err := Run(both); !errors.Is(err, ErrConfig) {
+		t.Errorf("Attack+AttackSpec error = %v, want ErrConfig", err)
+	}
+
+	sched := quickConfig(t)
+	sched.Schedule = nil
+	sched.ScheduleSpec = "inverset(gamma=0)"
+	if _, err := Run(sched); err == nil {
+		t.Error("malformed schedule spec accepted")
+	}
+
+	bothSched := quickConfig(t)
+	bothSched.ScheduleSpec = "const(gamma=0.1)" // Schedule is already set
+	if _, err := Run(bothSched); !errors.Is(err, ErrConfig) {
+		t.Errorf("Schedule+ScheduleSpec error = %v, want ErrConfig", err)
+	}
+}
+
+// TestFinalParamsIsACopy: mutating Result.FinalParams must not affect
+// engine-owned state — two runs interleaved with mutation agree.
+func TestFinalParamsIsACopy(t *testing.T) {
+	cfg := quickConfig(t)
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := vec.Clone(r1.FinalParams)
+	for i := range r1.FinalParams {
+		r1.FinalParams[i] = math.Inf(1)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.ApproxEqual(saved, r2.FinalParams, 0) {
+		t.Error("mutating FinalParams of one run perturbed a fresh run")
+	}
+}
+
+// TestFinalTestMetricsNaNWhenNeverEvaluated: EvalEvery = 0 leaves the
+// final test metrics as the NaN sentinel (not a misleading zero).
+func TestFinalTestMetricsNaNWhenNeverEvaluated(t *testing.T) {
+	cfg := quickConfig(t)
+	cfg.EvalEvery = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.FinalTestAccuracy) || !math.IsNaN(res.FinalTestLoss) {
+		t.Errorf("never-evaluated metrics = (%v, %v), want NaN sentinels",
+			res.FinalTestAccuracy, res.FinalTestLoss)
+	}
+
+	cfg.EvalEvery = 20
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.FinalTestAccuracy) || math.IsNaN(res.FinalTestLoss) {
+		t.Error("evaluated run still reports NaN sentinels")
+	}
+}

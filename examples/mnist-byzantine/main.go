@@ -11,7 +11,6 @@ import (
 	"log"
 
 	"krum"
-	"krum/attack"
 	"krum/data"
 	"krum/distsgd"
 	"krum/model"
@@ -49,11 +48,13 @@ func main() {
 			N:         n,
 			F:         f,
 			BatchSize: 24,
-			Schedule:  krum.ScheduleInverseTStretched(0.5, 0.75, 100),
-			Rounds:    rounds,
-			Attack:    attack.Omniscient{Scale: 20},
-			Seed:      1,
-			EvalEvery: 25,
+			// The attack and schedule are registry specs too — the same
+			// strings a JSON scenario file would carry.
+			ScheduleSpec: "inverset(gamma=0.5,power=0.75,t0=100)",
+			Rounds:       rounds,
+			AttackSpec:   "omniscient(scale=20)",
+			Seed:         1,
+			EvalEvery:    25,
 			OnRound: func(s distsgd.RoundStats) {
 				if s.Evaluated {
 					fmt.Printf("  [%s] round %3d  accuracy %.3f\n", rule.Name(), s.Round, s.TestAccuracy)

@@ -1,7 +1,11 @@
 // spambase trains a spam filter (logistic regression on the synthetic
-// Spambase stream) while a third of the workers emit σ=200 Gaussian
+// Spambase stream) while a quarter of the workers emit σ=200 Gaussian
 // garbage — the full paper's Figure 4 attack — and prints the selection
 // histogram showing Krum never picking a Byzantine proposal.
+//
+// The whole experiment is declarative: one scenario.Spec names every
+// axis as a registry spec string, a Matrix sweeps the rule axis, and
+// the Runner executes the grid concurrently.
 //
 //	go run ./examples/spambase
 package main
@@ -9,70 +13,46 @@ package main
 import (
 	"fmt"
 	"log"
+	"math"
 
-	"krum"
-	"krum/attack"
-	"krum/data"
-	"krum/distsgd"
-	"krum/model"
+	"krum/scenario"
 )
 
 func main() {
-	const (
-		n, f   = 12, 3
-		rounds = 300
-	)
+	base := scenario.Spec{
+		Workload:       "spambase(spamrate=0.394)",
+		Rule:           "krum",
+		Attack:         "gaussian(sigma=200)",
+		Schedule:       "inverset(gamma=0.3,power=0.75,t0=150)",
+		N:              12,
+		F:              3,
+		Rounds:         300,
+		BatchSize:      32,
+		Seed:           11,
+		EvalEvery:      50,
+		TrackSelection: true,
+	}
+	m := scenario.Matrix{
+		Base: base,
+		// Rules with an f parameter pick it up from the cluster shape.
+		Rules: []string{"average", "krum", "multikrum(m=5)"},
+	}
+	fmt.Printf("workload: %s — n=%d, f=%d under %s\n\n", base.Workload, base.N, base.F, base.Attack)
 
-	ds, err := data.NewSyntheticSpambase(0.394, 3)
+	results, err := (&scenario.Runner{}).Run(m)
 	if err != nil {
 		log.Fatal(err)
 	}
-	clf, err := model.NewLogistic(ds.Dim(), 5)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("workload: synthetic spambase (57 features), logistic regression\n")
-	fmt.Printf("cluster: n=%d, f=%d Gaussian attackers (σ=200)\n\n", n, f)
-
-	run := func(rule krum.Rule) *distsgd.Result {
-		res, err := distsgd.Run(distsgd.Config{
-			Model:          clf,
-			Dataset:        ds,
-			Rule:           rule,
-			N:              n,
-			F:              f,
-			BatchSize:      32,
-			Schedule:       krum.ScheduleInverseTStretched(0.3, 0.75, 150),
-			Rounds:         rounds,
-			Attack:         attack.Gaussian{Sigma: 200},
-			Seed:           11,
-			EvalEvery:      50,
-			TrackSelection: true,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return res
-	}
-
-	// Rules come from the central registry; f defaults to the declared
-	// cluster shape.
-	specCtx := krum.SpecContext{N: n, F: f}
-	for _, spec := range []string{"average", "krum", "multikrum(m=5)"} {
-		rule, err := krum.ParseRuleIn(specCtx, spec)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res := run(rule)
+	for _, cr := range results {
+		res := cr.Result
 		status := fmt.Sprintf("final accuracy %.3f", res.FinalTestAccuracy)
 		if res.Diverged {
 			status = fmt.Sprintf("DIVERGED at round %d", res.DivergedRound)
 		}
-		rate := res.ByzantineSelectionRate()
 		sel := "n/a (not a selection rule)"
-		if res.SelectionTrackedRounds > 0 && rate == rate { // rate != NaN
+		if rate := res.ByzantineSelectionRate(); !math.IsNaN(rate) {
 			sel = fmt.Sprintf("%.1f%% of rounds", 100*rate)
 		}
-		fmt.Printf("%-16s %-28s byzantine selected: %s\n", rule.Name(), status, sel)
+		fmt.Printf("%-16s %-28s byzantine selected: %s\n", cr.Spec.Rule, status, sel)
 	}
 }

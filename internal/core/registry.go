@@ -2,10 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
-	"strconv"
-	"strings"
-	"sync"
+
+	"krum/internal/spec"
 )
 
 // This file is the central rule registry: every aggregation rule in the
@@ -17,7 +15,9 @@ import (
 //	krum | krum(f=2) | multikrum(f=2,m=5) | trimmedmean(b=1)
 //
 // Names and parameter keys are case-insensitive (normalized to lower
-// case), so registry lookups are case-stable.
+// case), so registry lookups are case-stable. The parsing machinery is
+// the generic internal/spec registry shared with the attack, schedule
+// and workload axes; only the rule factories live here.
 
 // SpecContext supplies cluster-shape defaults for parameters a spec
 // omits: "krum" parsed with SpecContext{N: 15, F: 3} yields Krum{F: 3}.
@@ -32,226 +32,49 @@ type SpecContext struct {
 
 // Args holds the key=value parameters of a parsed rule spec, keys lower
 // case.
-type Args map[string]string
-
-// Has reports whether the spec spelled out the given key.
-func (a Args) Has(key string) bool {
-	_, ok := a[key]
-	return ok
-}
-
-// Int returns the integer value of key, or def when the spec omitted
-// it. A malformed value is reported as a wrapped ErrBadParameter.
-func (a Args) Int(key string, def int) (int, error) {
-	s, ok := a[key]
-	if !ok {
-		return def, nil
-	}
-	v, err := strconv.Atoi(strings.TrimSpace(s))
-	if err != nil {
-		return 0, fmt.Errorf("parameter %s=%q is not an integer: %w", key, s, ErrBadParameter)
-	}
-	return v, nil
-}
-
-// Float returns the float value of key, or def when the spec omitted
-// it. A malformed value is reported as a wrapped ErrBadParameter.
-func (a Args) Float(key string, def float64) (float64, error) {
-	s, ok := a[key]
-	if !ok {
-		return def, nil
-	}
-	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-	if err != nil {
-		return 0, fmt.Errorf("parameter %s=%q is not a number: %w", key, s, ErrBadParameter)
-	}
-	return v, nil
-}
+type Args = spec.Args
 
 // Factory builds a rule from a parsed spec. Register one per rule name.
-type Factory struct {
-	// Params names the accepted spec parameters in display order; any
-	// other key in a spec is rejected with ErrBadParameter.
-	Params []string
-	// Doc is a one-line description used in generated help text.
-	Doc string
-	// New constructs the rule from the cluster-shape defaults and the
-	// spec parameters.
-	New func(ctx SpecContext, args Args) (Rule, error)
-}
+type Factory = spec.Factory[Rule, SpecContext]
 
-var (
-	registryMu sync.RWMutex
-	registry   = map[string]Factory{}
-)
+// registry is the central rule registry; every parse failure wraps
+// ErrBadParameter.
+var registry = spec.NewRegistry[Rule, SpecContext]("rule", ErrBadParameter)
 
 // Register adds a rule factory under the given (case-insensitive) name.
 // It panics on an empty name, a nil constructor, or a duplicate
 // registration — all programmer errors at init time.
-func Register(name string, f Factory) {
-	key := strings.ToLower(strings.TrimSpace(name))
-	if key == "" {
-		panic("core: Register with empty rule name")
-	}
-	if f.New == nil {
-		panic(fmt.Sprintf("core: Register(%q) with nil constructor", name))
-	}
-	registryMu.Lock()
-	defer registryMu.Unlock()
-	if _, dup := registry[key]; dup {
-		panic(fmt.Sprintf("core: Register(%q) called twice", key))
-	}
-	registry[key] = f
-}
+func Register(name string, f Factory) { registry.Register(name, f) }
 
 // Lookup returns the factory registered under name (case-insensitive).
-func Lookup(name string) (Factory, bool) {
-	registryMu.RLock()
-	defer registryMu.RUnlock()
-	f, ok := registry[strings.ToLower(strings.TrimSpace(name))]
-	return f, ok
-}
+func Lookup(name string) (Factory, bool) { return registry.Lookup(name) }
 
 // Names returns the registered rule names, sorted.
-func Names() []string {
-	registryMu.RLock()
-	defer registryMu.RUnlock()
-	names := make([]string, 0, len(registry))
-	for name := range registry {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
+func Names() []string { return registry.Names() }
 
 // Usage returns a generated one-line summary of every registered rule
 // with its accepted parameters — the CLI help strings are built from
 // this so they can never drift from the registry.
-func Usage() string {
-	registryMu.RLock()
-	defer registryMu.RUnlock()
-	names := make([]string, 0, len(registry))
-	for name := range registry {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	parts := make([]string, 0, len(names))
-	for _, name := range names {
-		f := registry[name]
-		if len(f.Params) == 0 {
-			parts = append(parts, name)
-			continue
-		}
-		parts = append(parts, name+"("+strings.Join(f.Params, ",")+")")
-	}
-	return strings.Join(parts, " | ")
-}
+func Usage() string { return registry.Usage() }
 
 // SplitSpecs splits a comma-separated list of rule specs, keeping
 // commas inside parameter parentheses — "krum,multikrum(f=2,m=3)"
 // yields ["krum", "multikrum(f=2,m=3)"]. Empty items are dropped; the
 // items are not validated (ParseRuleIn does that).
-func SplitSpecs(list string) []string {
-	var out []string
-	depth, start := 0, 0
-	for i := 0; i < len(list); i++ {
-		switch list[i] {
-		case '(':
-			depth++
-		case ')':
-			if depth > 0 {
-				depth--
-			}
-		case ',':
-			if depth == 0 {
-				if item := strings.TrimSpace(list[start:i]); item != "" {
-					out = append(out, item)
-				}
-				start = i + 1
-			}
-		}
-	}
-	if item := strings.TrimSpace(list[start:]); item != "" {
-		out = append(out, item)
-	}
-	return out
-}
+func SplitSpecs(list string) []string { return spec.SplitSpecs(list) }
 
 // ParseSpec splits a rule spec into its lower-cased name and parameter
 // map without consulting the registry. Malformed specs are reported as
 // wrapped ErrBadParameter.
-func ParseSpec(spec string) (string, Args, error) {
-	s := strings.TrimSpace(spec)
-	if s == "" {
-		return "", nil, fmt.Errorf("empty rule spec: %w", ErrBadParameter)
-	}
-	open := strings.IndexByte(s, '(')
-	if open < 0 {
-		if strings.ContainsAny(s, "),= ") {
-			return "", nil, fmt.Errorf("malformed rule spec %q: %w", spec, ErrBadParameter)
-		}
-		return strings.ToLower(s), Args{}, nil
-	}
-	name := strings.TrimSpace(s[:open])
-	if name == "" {
-		return "", nil, fmt.Errorf("rule spec %q has no name: %w", spec, ErrBadParameter)
-	}
-	if !strings.HasSuffix(s, ")") {
-		return "", nil, fmt.Errorf("rule spec %q: missing ')': %w", spec, ErrBadParameter)
-	}
-	args := Args{}
-	inner := strings.TrimSpace(s[open+1 : len(s)-1])
-	if inner == "" {
-		return strings.ToLower(name), args, nil
-	}
-	for _, kv := range strings.Split(inner, ",") {
-		eq := strings.IndexByte(kv, '=')
-		if eq < 0 {
-			return "", nil, fmt.Errorf("rule spec %q: parameter %q is not key=value: %w", spec, strings.TrimSpace(kv), ErrBadParameter)
-		}
-		key := strings.ToLower(strings.TrimSpace(kv[:eq]))
-		val := strings.TrimSpace(kv[eq+1:])
-		if key == "" || val == "" {
-			return "", nil, fmt.Errorf("rule spec %q: empty key or value in %q: %w", spec, strings.TrimSpace(kv), ErrBadParameter)
-		}
-		if _, dup := args[key]; dup {
-			return "", nil, fmt.Errorf("rule spec %q: duplicate parameter %q: %w", spec, key, ErrBadParameter)
-		}
-		args[key] = val
-	}
-	return strings.ToLower(name), args, nil
+func ParseSpec(s string) (string, Args, error) {
+	return spec.Parse("rule", ErrBadParameter, s)
 }
 
 // ParseRuleIn constructs the rule described by spec, with cluster-shape
 // defaults from ctx. Unknown names, unknown parameter keys, and
 // malformed values are all reported as wrapped ErrBadParameter.
-func ParseRuleIn(ctx SpecContext, spec string) (Rule, error) {
-	name, args, err := ParseSpec(spec)
-	if err != nil {
-		return nil, err
-	}
-	factory, ok := Lookup(name)
-	if !ok {
-		return nil, fmt.Errorf("unknown rule %q (registered: %s): %w", name, strings.Join(Names(), ", "), ErrBadParameter)
-	}
-	for key := range args {
-		known := false
-		for _, p := range factory.Params {
-			if key == p {
-				known = true
-				break
-			}
-		}
-		if !known {
-			return nil, fmt.Errorf("rule %q does not take parameter %q (accepts: %s): %w",
-				name, key, strings.Join(factory.Params, ", "), ErrBadParameter)
-		}
-	}
-	rule, err := factory.New(ctx, args)
-	if err != nil {
-		return nil, fmt.Errorf("rule spec %q: %w", spec, err)
-	}
-	return rule, nil
+func ParseRuleIn(ctx SpecContext, s string) (Rule, error) {
+	return registry.Parse(ctx, s)
 }
 
 // ParseRule is ParseRuleIn with an empty context: every parameter

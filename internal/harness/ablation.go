@@ -9,6 +9,7 @@ import (
 	"krum/internal/core"
 	"krum/internal/metrics"
 	"krum/internal/vec"
+	"krum/scenario"
 )
 
 // AblationRow is one rule's behaviour under the hidden-coordinate
@@ -45,30 +46,36 @@ func RunAblation(w io.Writer, scale Scale, seed uint64) (*AblationResult, error)
 	trials := pick(scale, 300, 2000)
 	rng := vec.NewRNG(seed)
 
-	// Rules come from the central registry with (n, f) as defaults.
-	specCtx := core.SpecContext{N: n, F: f}
-	specs := []string{
-		"average",
-		"krum",
-		fmt.Sprintf("multikrum(m=%d)", n-2*f),
-		"bulyan",
-		"coordmedian",
-		"trimmedmean",
-		"geomedian",
+	// The rule sweep is a scenario matrix over registry specs; the
+	// hidden-coordinate attack is a spec too, so this path contains no
+	// hand-rolled attack literal.
+	m := scenario.Matrix{
+		Base: scenario.Spec{
+			N: n, F: f, Seed: seed,
+			Attack: fmt.Sprintf("hiddencoord(j=%d,margin=1)", coord),
+		},
+		Rules: []string{
+			"average",
+			"krum",
+			fmt.Sprintf("multikrum(m=%d)", n-2*f),
+			"bulyan",
+			"coordmedian",
+			"trimmedmean",
+			"geomedian",
+		},
 	}
-	rules := make([]core.Rule, 0, len(specs))
-	for _, spec := range specs {
-		rule, err := core.ParseRuleIn(specCtx, spec)
-		if err != nil {
-			return nil, fmt.Errorf("rule %q: %w", spec, err)
-		}
-		rules = append(rules, rule)
-	}
-	atk := attack.HiddenCoordinate{Coordinate: coord, Margin: 1}
 
 	res := &AblationResult{N: n, F: f, D: d}
 	out := make([]float64, d)
-	for _, rule := range rules {
+	for _, cell := range m.Cells() {
+		rule, err := core.ParseRuleIn(core.SpecContext{N: cell.N, F: cell.F}, cell.Rule)
+		if err != nil {
+			return nil, fmt.Errorf("rule %q: %w", cell.Rule, err)
+		}
+		atk, err := attack.Parse(cell.Attack)
+		if err != nil {
+			return nil, fmt.Errorf("attack %q: %w", cell.Attack, err)
+		}
 		var coordErr, restErr float64
 		hits, tracked := 0, 0
 		for trial := 0; trial < trials; trial++ {

@@ -4,17 +4,15 @@ import (
 	"fmt"
 	"io"
 
-	"krum"
 	"krum/attack"
-	"krum/distsgd"
-	"krum/internal/core"
 	"krum/internal/metrics"
+	"krum/scenario"
 )
 
 // AttackCurves holds the four accuracy-vs-round series of the Figure
 // 4/5 layout: {average, krum} × {0% Byzantine, ~33% Byzantine}.
 type AttackCurves struct {
-	// Attack names the Byzantine behaviour.
+	// Attack names the Byzantine behaviour (canonical registry spec).
 	Attack string
 	// Rounds is the shared evaluation axis.
 	Rounds []int
@@ -25,20 +23,6 @@ type AttackCurves struct {
 	// AvgByzDiverged reports whether the attacked averaging run blew
 	// up before finishing.
 	AvgByzDiverged bool
-}
-
-// runCurve executes one training run and returns its accuracy series.
-func runCurve(base distsgd.Config, rule core.Rule, f int, atk attack.Strategy) ([]int, []float64, *distsgd.Result, error) {
-	cfg := base
-	cfg.Rule = rule
-	cfg.F = f
-	cfg.Attack = atk
-	res, err := distsgd.Run(cfg)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	rounds, accs := res.AccuracySeries()
-	return rounds, accs, res, nil
 }
 
 // padTo extends a (possibly short, because diverged) series to the
@@ -60,10 +44,13 @@ func padTo(axis []int, rounds []int, accs []float64, fallback float64) []float64
 
 // RunAttackFigure executes the Figure 4 (Gaussian) or Figure 5
 // (omniscient) reproduction on the image workload: accuracy per round
-// for averaging and Krum with 0% and ≈33% Byzantine workers.
-func RunAttackFigure(w io.Writer, scale Scale, seed uint64, atk attack.Strategy, figName string) (*AttackCurves, error) {
-	if atk == nil {
-		return nil, fmt.Errorf("nil attack: %w", ErrConfig)
+// for averaging and Krum with 0% and ≈33% Byzantine workers. The four
+// runs are declared as two scenario matrices (a clean arm at f = 0 and
+// an attacked arm at f > 0) and executed concurrently by one Runner.
+func RunAttackFigure(w io.Writer, scale Scale, seed uint64, attackSpec, figName string) (*AttackCurves, error) {
+	atk, err := attack.Parse(attackSpec)
+	if err != nil {
+		return nil, fmt.Errorf("attack spec %q: %w", attackSpec, err)
 	}
 	const n = 15
 	f := 4 // 4/15 ≈ 27%, satisfying 2f+2 < n; the paper uses 33% of n=?
@@ -75,51 +62,49 @@ func RunAttackFigure(w io.Writer, scale Scale, seed uint64, atk attack.Strategy,
 		return nil, err
 	}
 
-	base := distsgd.Config{
-		Model:     work.mlp,
-		Dataset:   work.ds,
+	base := scenario.Spec{
+		Workload:  imageWorkloadSpec(scale),
+		Schedule:  figSchedule,
 		N:         n,
-		BatchSize: pick(scale, 16, 32),
-		Schedule:  krum.ScheduleInverseTStretched(0.5, 0.75, 200),
 		Rounds:    rounds,
+		BatchSize: pick(scale, 16, 32),
 		Seed:      seed,
 		EvalEvery: evalEvery,
 		EvalBatch: pick(scale, 300, 1000),
 	}
+	ruleSpecs := []string{"average", fmt.Sprintf("krum(f=%d)", f)}
+	clean := scenario.Matrix{Base: base, Rules: ruleSpecs, Fs: []int{0}}
+	byz := scenario.Matrix{Base: base, Rules: ruleSpecs, Attacks: []string{attackSpec}, Fs: []int{f}}
+	cells := append(clean.Cells(), byz.Cells()...)
+	results, err := (&scenario.Runner{}).RunCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	avgCleanRes := results[0].Result
+	krumCleanRes := results[1].Result
+	avgByzRes := results[2].Result
+	krumByzRes := results[3].Result
 
 	curves := &AttackCurves{Attack: atk.Name()}
-
-	axis, avgClean, avgCleanRes, err := runCurve(base, krum.Average{}, 0, nil)
-	if err != nil {
-		return nil, fmt.Errorf("average clean: %w", err)
-	}
+	axis, avgClean := avgCleanRes.AccuracySeries()
 	curves.Rounds = axis
 	curves.AvgClean = avgClean
-	curves.AvgCleanFinal = avgCleanRes.FinalTestAccuracy
+	curves.AvgCleanFinal = finalOrChance(avgCleanRes)
 
-	byzRounds, byzAccs, avgByzRes, err := runCurve(base, krum.Average{}, f, atk)
-	if err != nil {
-		return nil, fmt.Errorf("average byz: %w", err)
-	}
+	byzRounds, byzAccs := avgByzRes.AccuracySeries()
 	curves.AvgByzDiverged = avgByzRes.Diverged
 	curves.AvgByz = padTo(axis, byzRounds, byzAccs, 0.1)
 	curves.AvgByzFinal = curves.AvgByz[len(curves.AvgByz)-1]
 
-	_, krumClean, krumCleanRes, err := runCurve(base, krum.NewKrum(f), 0, nil)
-	if err != nil {
-		return nil, fmt.Errorf("krum clean: %w", err)
-	}
+	_, krumClean := krumCleanRes.AccuracySeries()
 	curves.KrumClean = padTo(axis, axis, krumClean, 0.1)
-	curves.KrumCleanFinal = krumCleanRes.FinalTestAccuracy
+	curves.KrumCleanFinal = finalOrChance(krumCleanRes)
 
-	_, krumByz, krumByzRes, err := runCurve(base, krum.NewKrum(f), f, atk)
-	if err != nil {
-		return nil, fmt.Errorf("krum byz: %w", err)
-	}
+	_, krumByz := krumByzRes.AccuracySeries()
 	curves.KrumByz = padTo(axis, axis, krumByz, 0.1)
-	curves.KrumByzFinal = krumByzRes.FinalTestAccuracy
+	curves.KrumByzFinal = finalOrChance(krumByzRes)
 
-	section(w, fmt.Sprintf("%s — %s attack on %s", figName, atk.Name(), work.label))
+	section(w, fmt.Sprintf("%s — %s attack on %s", figName, atk.Name(), work.Description))
 	fmt.Fprintf(w, "n = %d workers, f = %d (%.0f%%) Byzantine when attacked\n\n", n, f, 100*float64(f)/float64(n))
 	xs := make([]float64, len(axis))
 	for i, r := range axis {
@@ -151,10 +136,10 @@ func RunAttackFigure(w io.Writer, scale Scale, seed uint64, atk attack.Strategy,
 
 // RunFig4 is the Gaussian-attack figure (full paper Figure 4).
 func RunFig4(w io.Writer, scale Scale, seed uint64) (*AttackCurves, error) {
-	return RunAttackFigure(w, scale, seed, attack.Gaussian{Sigma: 200}, "F4 / Figure 4")
+	return RunAttackFigure(w, scale, seed, "gaussian(sigma=200)", "F4 / Figure 4")
 }
 
 // RunFig5 is the omniscient-attack figure (full paper Figure 5).
 func RunFig5(w io.Writer, scale Scale, seed uint64) (*AttackCurves, error) {
-	return RunAttackFigure(w, scale, seed, attack.Omniscient{Scale: 20}, "F5 / Figure 5")
+	return RunAttackFigure(w, scale, seed, "omniscient(scale=20)", "F5 / Figure 5")
 }

@@ -3,12 +3,9 @@ package harness
 import (
 	"fmt"
 	"io"
-	"math"
 
-	"krum"
-	"krum/attack"
-	"krum/distsgd"
 	"krum/internal/metrics"
+	"krum/scenario"
 )
 
 // Fig6Row is one m operating point of the Multi-Krum trade-off.
@@ -38,7 +35,9 @@ type Fig6Result struct {
 
 // RunFig6 executes the Multi-Krum trade-off: convergence speed grows
 // with m (averaging more estimates reduces variance) while resilience
-// holds up to the safe range and collapses as m → n.
+// holds up to the safe range and collapses as m → n. The m sweep is two
+// scenario matrices — a clean arm and a Gaussian-attacked arm — run
+// concurrently through one Runner; every axis is a registry spec.
 func RunFig6(w io.Writer, scale Scale, seed uint64) (*Fig6Result, error) {
 	const n, f = 15, 4
 	rounds := pick(scale, 150, 500)
@@ -49,60 +48,52 @@ func RunFig6(w io.Writer, scale Scale, seed uint64) (*Fig6Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	base := distsgd.Config{
-		Model:     work.mlp,
-		Dataset:   work.ds,
+	base := scenario.Spec{
+		Workload:  imageWorkloadSpec(scale),
+		Schedule:  figSchedule,
 		N:         n,
-		BatchSize: pick(scale, 16, 32),
-		Schedule:  krum.ScheduleInverseTStretched(0.5, 0.75, 200),
 		Rounds:    rounds,
+		BatchSize: pick(scale, 16, 32),
 		Seed:      seed,
 		EvalEvery: evalEvery,
 		EvalBatch: pick(scale, 300, 1000),
 	}
+	ms := []int{1, 4, 8, 11, 15}
+	ruleSpecs := make([]string, len(ms))
+	for i, m := range ms {
+		ruleSpecs[i] = fmt.Sprintf("multikrum(f=%d,m=%d)", f, m)
+	}
+	clean := scenario.Matrix{Base: base, Rules: ruleSpecs, Fs: []int{0}}
+	byz := scenario.Matrix{Base: base, Rules: ruleSpecs, Attacks: []string{"gaussian(sigma=200)"}, Fs: []int{f}}
+	cells := append(clean.Cells(), byz.Cells()...)
+	results, err := (&scenario.Runner{}).RunCells(cells)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Fig6Result{N: n, F: f, Target: target}
-	for _, m := range []int{1, 4, 8, 11, 15} {
-		rule := krum.NewMultiKrum(f, m)
+	for i, m := range ms {
+		cleanRun := results[i].Result
+		byzRun := results[len(ms)+i].Result
 
-		cleanCfg := base
-		cleanCfg.Rule = rule
-		cleanCfg.F = 0
-		cleanRun, err := distsgd.Run(cleanCfg)
-		if err != nil {
-			return nil, fmt.Errorf("m=%d clean: %w", m, err)
-		}
 		roundsAxis, accs := cleanRun.AccuracySeries()
 		toTarget := -1
-		for i, a := range accs {
+		for j, a := range accs {
 			if a >= target {
-				toTarget = roundsAxis[i]
+				toTarget = roundsAxis[j]
 				break
 			}
 		}
 
-		byzCfg := base
-		byzCfg.Rule = rule
-		byzCfg.F = f
-		byzCfg.Attack = attack.Gaussian{Sigma: 200}
-		byzRun, err := distsgd.Run(byzCfg)
-		if err != nil {
-			return nil, fmt.Errorf("m=%d byz: %w", m, err)
-		}
-		byzFinal := byzRun.FinalTestAccuracy
-		if byzRun.Diverged || math.IsNaN(byzFinal) {
-			byzFinal = 0.1 // chance
-		}
-
 		res.Rows = append(res.Rows, Fig6Row{
 			M:                   m,
-			CleanFinal:          cleanRun.FinalTestAccuracy,
+			CleanFinal:          finalOrChance(cleanRun),
 			CleanRoundsToTarget: toTarget,
-			ByzFinal:            byzFinal,
+			ByzFinal:            finalOrChance(byzRun),
 		})
 	}
 
-	section(w, fmt.Sprintf("F6 / Figure 6 — Multi-Krum trade-off on %s", work.label))
+	section(w, fmt.Sprintf("F6 / Figure 6 — Multi-Krum trade-off on %s", work.Description))
 	fmt.Fprintf(w, "n = %d; 'byz' columns face f = %d Gaussian attackers; target accuracy %.2f\n\n", n, f, target)
 	tbl := metrics.NewTable("m", "clean final acc", "rounds to target (clean)", "final acc with attack")
 	for _, r := range res.Rows {

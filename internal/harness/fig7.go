@@ -4,10 +4,8 @@ import (
 	"fmt"
 	"io"
 
-	"krum"
-	"krum/attack"
-	"krum/distsgd"
 	"krum/internal/metrics"
+	"krum/scenario"
 )
 
 // Fig7Row is one batch-size operating point of the cost-of-resilience
@@ -33,54 +31,53 @@ type Fig7Result struct {
 // Krum's slowdown relative to attack-free averaging is recovered by
 // growing the correct workers' mini-batch (smaller estimator variance
 // σ ⇒ smaller resilience angle α ⇒ selection closer to the true
-// gradient).
+// gradient). Batch size is not a matrix axis, so the sweep is an
+// explicit scenario cell list run concurrently through the Runner.
 func RunFig7(w io.Writer, scale Scale, seed uint64) (*Fig7Result, error) {
 	const n, f = 15, 4
 	rounds := pick(scale, 150, 500)
 	evalEvery := pick(scale, 10, 20)
 	smallBatch := 3
+	batches := []int{3, 10, 30, 100}
 
 	work, err := newImageWorkload(scale, seed)
 	if err != nil {
 		return nil, err
 	}
-	base := distsgd.Config{
-		Model:     work.mlp,
-		Dataset:   work.ds,
+	base := scenario.Spec{
+		Workload:  imageWorkloadSpec(scale),
+		Schedule:  figSchedule,
 		N:         n,
-		Schedule:  krum.ScheduleInverseTStretched(0.5, 0.75, 200),
 		Rounds:    rounds,
 		Seed:      seed,
 		EvalEvery: evalEvery,
 		EvalBatch: pick(scale, 300, 1000),
 	}
 
-	res := &Fig7Result{}
-
-	refCfg := base
-	refCfg.Rule = krum.Average{}
-	refCfg.F = 0
-	refCfg.BatchSize = smallBatch
-	refRun, err := distsgd.Run(refCfg)
+	ref := base
+	ref.Rule = "average"
+	ref.F = 0
+	ref.BatchSize = smallBatch
+	cells := []scenario.Spec{ref}
+	for _, b := range batches {
+		cell := base
+		cell.Rule = fmt.Sprintf("krum(f=%d)", f)
+		cell.F = f
+		cell.BatchSize = b
+		cell.Attack = "gaussian(sigma=200)"
+		cells = append(cells, cell)
+	}
+	results, err := (&scenario.Runner{}).RunCells(cells)
 	if err != nil {
-		return nil, fmt.Errorf("reference average: %w", err)
-	}
-	res.AverageCleanFinal = refRun.FinalTestAccuracy
-
-	for _, b := range []int{3, 10, 30, 100} {
-		cfg := base
-		cfg.Rule = krum.NewKrum(f)
-		cfg.F = f
-		cfg.BatchSize = b
-		cfg.Attack = attack.Gaussian{Sigma: 200}
-		run, err := distsgd.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("krum batch=%d: %w", b, err)
-		}
-		res.Rows = append(res.Rows, Fig7Row{Batch: b, KrumByzFinal: run.FinalTestAccuracy})
+		return nil, err
 	}
 
-	section(w, fmt.Sprintf("F7 / Figure 7 — cost of resilience on %s", work.label))
+	res := &Fig7Result{AverageCleanFinal: finalOrChance(results[0].Result)}
+	for i, b := range batches {
+		res.Rows = append(res.Rows, Fig7Row{Batch: b, KrumByzFinal: finalOrChance(results[i+1].Result)})
+	}
+
+	section(w, fmt.Sprintf("F7 / Figure 7 — cost of resilience on %s", work.Description))
 	fmt.Fprintf(w, "n = %d, f = %d Gaussian attackers; reference: attack-free averaging at batch %d\n\n", n, f, smallBatch)
 	tbl := metrics.NewTable("worker batch", "krum final acc (under attack)", "Δ vs clean average")
 	for _, r := range res.Rows {

@@ -242,7 +242,7 @@ func TestRunTable1Shape(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Krum rejects every value-distorting attack.
-	for _, atk := range []string{"gaussian(σ=200)", "omniscient(×20)", "signflip", "medoidcollusion"} {
+	for _, atk := range []string{"gaussian(sigma=200)", "omniscient(scale=20)", "signflip", "medoidcollusion(offset=10000)"} {
 		cell := res.Cell(atk, "krum")
 		if cell == nil {
 			t.Fatalf("missing cell %s/krum", atk)
@@ -252,7 +252,7 @@ func TestRunTable1Shape(t *testing.T) {
 		}
 	}
 	// Medoid is captured by the collusion.
-	if cell := res.Cell("medoidcollusion", "medoid"); cell == nil || cell.ByzSelectedRate < 0.9 {
+	if cell := res.Cell("medoidcollusion(offset=10000)", "medoid"); cell == nil || cell.ByzSelectedRate < 0.9 {
 		t.Errorf("medoid collusion cell: %+v", cell)
 	}
 	// Mimic is value-identical: selection rates may be anything, but
@@ -286,9 +286,12 @@ func TestScaleString(t *testing.T) {
 	}
 }
 
-func TestRunAttackFigureNilAttack(t *testing.T) {
-	if _, err := RunAttackFigure(io.Discard, Quick, 1, nil, "x"); err == nil {
-		t.Error("nil attack accepted")
+func TestRunAttackFigureBadAttackSpec(t *testing.T) {
+	if _, err := RunAttackFigure(io.Discard, Quick, 1, "", "x"); err == nil {
+		t.Error("empty attack spec accepted")
+	}
+	if _, err := RunAttackFigure(io.Discard, Quick, 1, "nosuchattack", "x"); err == nil {
+		t.Error("unknown attack spec accepted")
 	}
 }
 
@@ -312,10 +315,11 @@ func TestImageWorkloadLabels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(w.label, "synthetic MNIST") {
-		t.Errorf("label %q", w.label)
+	if !strings.Contains(w.Description, "synthetic MNIST") {
+		t.Errorf("description %q", w.Description)
 	}
-	if w.ds.Dim() != w.size*w.size {
-		t.Error("dim mismatch")
+	// Quick scale is a 10×10 image grid.
+	if w.Dataset.Dim() != 100 {
+		t.Errorf("dim %d, want 100", w.Dataset.Dim())
 	}
 }

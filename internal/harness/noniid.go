@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"krum"
 	"krum/data"
 	"krum/distsgd"
 	"krum/internal/core"
@@ -50,7 +49,7 @@ func RunNonIID(w io.Writer, scale Scale, seed uint64) (*NonIIDResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	partitions, err := data.PartitionClasses(work.ds, n)
+	partitions, err := data.PartitionClasses(work.Dataset, n)
 	if err != nil {
 		return nil, err
 	}
@@ -60,16 +59,16 @@ func RunNonIID(w io.Writer, scale Scale, seed uint64) (*NonIIDResult, error) {
 	}
 
 	base := distsgd.Config{
-		Model:     work.mlp,
-		Dataset:   work.ds, // evaluation stays on the full distribution
-		N:         n,
-		F:         0,
-		BatchSize: batch,
-		Schedule:  krum.ScheduleInverseTStretched(0.5, 0.75, 200),
-		Rounds:    rounds,
-		Seed:      seed,
-		EvalEvery: evalEvery,
-		EvalBatch: pick(scale, 300, 1000),
+		Model:        work.Model,
+		Dataset:      work.Dataset, // evaluation stays on the full distribution
+		N:            n,
+		F:            0,
+		BatchSize:    batch,
+		ScheduleSpec: figSchedule,
+		Rounds:       rounds,
+		Seed:         seed,
+		EvalEvery:    evalEvery,
+		EvalBatch:    pick(scale, 300, 1000),
 	}
 
 	res := &NonIIDResult{N: n}
@@ -93,7 +92,7 @@ func RunNonIID(w io.Writer, scale Scale, seed uint64) (*NonIIDResult, error) {
 			return nil, fmt.Errorf("%s iid: %w", rule.Name(), err)
 		}
 
-		skewPool, err := sim.NewHeterogeneousPool(work.mlp, datasets, batch, seed+1)
+		skewPool, err := sim.NewHeterogeneousPool(work.Model, datasets, batch, seed+1)
 		if err != nil {
 			return nil, fmt.Errorf("building heterogeneous pool: %w", err)
 		}
@@ -113,7 +112,7 @@ func RunNonIID(w io.Writer, scale Scale, seed uint64) (*NonIIDResult, error) {
 		})
 	}
 
-	section(w, fmt.Sprintf("E7 (extension) — non-i.i.d. workers on %s", work.label))
+	section(w, fmt.Sprintf("E7 (extension) — non-i.i.d. workers on %s", work.Description))
 	fmt.Fprintf(w, "n = %d honest workers, NO attackers; 'skew' deals each worker a disjoint\nclass subset (assumption (iii) of Prop. 4.3 violated)\n\n", n)
 	tbl := metrics.NewTable("rule", "iid accuracy", "label-skew accuracy", "gap")
 	for _, r := range res.Rows {

@@ -8,11 +8,13 @@ import (
 	"krum/internal/core"
 	"krum/internal/metrics"
 	"krum/internal/vec"
+	"krum/scenario"
 )
 
 // Table1Cell is one (attack, rule) measurement.
 type Table1Cell struct {
-	// Attack and Rule identify the cell.
+	// Attack and Rule identify the cell (canonical registry spec
+	// names).
 	Attack, Rule string
 	// ByzSelectedRate is the fraction of trials in which the rule
 	// selected at least one Byzantine proposal.
@@ -20,86 +22,96 @@ type Table1Cell struct {
 }
 
 // Table1Result is the derived selection-quality matrix (T1 in
-// DESIGN.md): every selection rule against every attack.
+// EXPERIMENTS.md): every selection rule against every attack, in the
+// scenario.Matrix expansion order (rule-major).
 type Table1Result struct {
 	// N, F document the cluster shape.
 	N, F int
-	// Cells holds the matrix in row-major (attack-major) order.
+	// Cells holds the matrix cells.
 	Cells []Table1Cell
+}
+
+// Table1Matrix declares the T1 grid — every selection rule against
+// every attack — as a scenario matrix of registry spec strings. Both
+// the flag-driven table1 experiment and JSON config files expand this
+// same matrix, so the two invocation paths are literally one code path.
+// DeriveSeeds decorrelates the cells' Monte-Carlo streams.
+func Table1Matrix(seed uint64) scenario.Matrix {
+	return scenario.Matrix{
+		Base:  scenario.Spec{Name: "table1", N: 13, F: 3, Seed: seed},
+		Rules: []string{"krum", "multikrum(m=4)", "medoid", "minimaldiameter", "bulyan"},
+		Attacks: []string{
+			"gaussian(sigma=200)",
+			"omniscient(scale=20)",
+			"signflip",
+			"medoidcollusion",
+			"mimic",
+			"littleisenough",
+			"hiddencoord(j=3)",
+		},
+		DeriveSeeds: true,
+	}
 }
 
 // RunTable1 measures how often each selection rule picks a Byzantine
 // proposal under each attack, at the aggregation level (tight correct
-// cluster, unit-scale gradients).
+// cluster, unit-scale gradients). The grid comes from Table1Matrix;
+// each cell runs its own deterministically-seeded Monte-Carlo loop.
 func RunTable1(w io.Writer, scale Scale, seed uint64) (*Table1Result, error) {
-	const n, f, d = 13, 3, 12
+	const d = 12
 	trials := pick(scale, 200, 2000)
-	rng := vec.NewRNG(seed)
 
-	attacks := []attack.Strategy{
-		attack.Gaussian{Sigma: 200},
-		attack.Omniscient{Scale: 20},
-		attack.SignFlip{},
-		attack.MedoidCollusion{},
-		attack.Mimic{},
-		attack.LittleIsEnough{},
-		attack.HiddenCoordinate{Coordinate: 3},
-	}
-	// Rules come from the central registry; f defaults to the cluster
-	// shape via SpecContext. Bulyan's default f clamps to 2 at n = 13
-	// (n ≥ 4f+3).
-	specCtx := core.SpecContext{N: n, F: f}
-	rules := make([]core.Rule, 0, 5)
-	for _, spec := range []string{"krum", "multikrum(m=4)", "medoid", "minimaldiameter", "bulyan"} {
-		rule, err := core.ParseRuleIn(specCtx, spec)
-		if err != nil {
-			return nil, fmt.Errorf("rule %q: %w", spec, err)
-		}
-		rules = append(rules, rule)
-	}
-
+	m := Table1Matrix(seed)
+	n, f := m.Base.N, m.Base.F
 	res := &Table1Result{N: n, F: f}
-	for _, atk := range attacks {
-		for _, rule := range rules {
-			sel, ok := rule.(core.Selector)
-			if !ok {
-				continue
-			}
-			hits := 0
-			for trial := 0; trial < trials; trial++ {
-				center := rng.NewNormal(d, 0, 1)
-				correct := make([][]float64, n-f)
-				for i := range correct {
-					v := vec.Clone(center)
-					for j := range v {
-						v[j] += 0.1 * rng.NormFloat64()
-					}
-					correct[i] = v
-				}
-				ctx := &attack.Context{
-					Round: trial, Params: center, Correct: correct, F: f, RNG: rng,
-				}
-				byz := atk.Propose(ctx)
-				proposals := make([][]float64, 0, n)
-				proposals = append(proposals, correct...)
-				proposals = append(proposals, byz...)
-				indices, err := sel.Select(proposals)
-				if err != nil {
-					return nil, fmt.Errorf("%s under %s: %w", rule.Name(), atk.Name(), err)
-				}
-				for _, idx := range indices {
-					if idx >= n-f {
-						hits++
-						break
-					}
-				}
-			}
-			res.Cells = append(res.Cells, Table1Cell{
-				Attack:          atk.Name(),
-				Rule:            rule.Name(),
-				ByzSelectedRate: float64(hits) / float64(trials),
-			})
+	for _, cell := range m.Cells() {
+		atk, err := attack.Parse(cell.Attack)
+		if err != nil {
+			return nil, fmt.Errorf("attack %q: %w", cell.Attack, err)
 		}
+		rule, err := core.ParseRuleIn(core.SpecContext{N: cell.N, F: cell.F}, cell.Rule)
+		if err != nil {
+			return nil, fmt.Errorf("rule %q: %w", cell.Rule, err)
+		}
+		sel, ok := rule.(core.Selector)
+		if !ok {
+			continue
+		}
+		rng := vec.NewRNG(cell.Seed)
+		hits := 0
+		for trial := 0; trial < trials; trial++ {
+			center := rng.NewNormal(d, 0, 1)
+			correct := make([][]float64, n-f)
+			for i := range correct {
+				v := vec.Clone(center)
+				for j := range v {
+					v[j] += 0.1 * rng.NormFloat64()
+				}
+				correct[i] = v
+			}
+			ctx := &attack.Context{
+				Round: trial, Params: center, Correct: correct, F: f, RNG: rng,
+			}
+			byz := atk.Propose(ctx)
+			proposals := make([][]float64, 0, n)
+			proposals = append(proposals, correct...)
+			proposals = append(proposals, byz...)
+			indices, err := sel.Select(proposals)
+			if err != nil {
+				return nil, fmt.Errorf("%s under %s: %w", rule.Name(), atk.Name(), err)
+			}
+			for _, idx := range indices {
+				if idx >= n-f {
+					hits++
+					break
+				}
+			}
+		}
+		res.Cells = append(res.Cells, Table1Cell{
+			Attack:          atk.Name(),
+			Rule:            rule.Name(),
+			ByzSelectedRate: float64(hits) / float64(trials),
+		})
 	}
 
 	section(w, "T1 — Byzantine-selection rate per (attack × rule)")

@@ -3,91 +3,32 @@ package harness
 import (
 	"fmt"
 
-	"krum/data"
-	"krum/model"
+	"krum/workload"
 )
 
-// Workload bundles a dataset with a matching model architecture — the
-// unit the CLI binaries select by name.
-type Workload struct {
-	// Name is the CLI identifier.
-	Name string
-	// Dataset is the sample stream.
-	Dataset data.Dataset
-	// Model is the architecture (callers clone it).
-	Model model.Model
-	// Description is a human-readable summary.
-	Description string
-}
+// WorkloadUsage returns the generated workload help line — CLI help
+// text is built from this so it can never drift from the registry.
+func WorkloadUsage() string { return workload.Usage() }
 
-// WorkloadNames lists the identifiers accepted by BuildWorkload.
-func WorkloadNames() []string {
-	return []string{"mnist", "mnist-conv", "spambase", "mixture", "regression"}
-}
-
-// BuildWorkload constructs a named workload at the given scale.
-func BuildWorkload(name string, scale Scale, seed uint64) (*Workload, error) {
+// BuildWorkload constructs a workload at the given scale. Bare legacy
+// shorthands ("mnist", "mnist-conv", "mixture") expand to
+// scale-appropriate registry specs; anything else is parsed as a
+// workload registry spec verbatim, so callers can request e.g.
+// "mnist(size=20,hidden=64)" directly.
+func BuildWorkload(name string, scale Scale, seed uint64) (*workload.Workload, error) {
+	spec := name
 	switch name {
 	case "mnist":
-		w, err := newImageWorkload(scale, seed)
-		if err != nil {
-			return nil, err
-		}
-		return &Workload{Name: name, Dataset: w.ds, Model: w.mlp, Description: w.label}, nil
-	case "mnist-conv":
-		size := pick(scale, 12, 16)
-		ds, err := data.NewSyntheticMNIST(size, 0.05)
-		if err != nil {
-			return nil, err
-		}
-		conv, err := model.NewConvNet(size, size, pick(scale, 4, 8), pick(scale, 16, 32), 10, seed)
-		if err != nil {
-			return nil, err
-		}
-		return &Workload{
-			Name: name, Dataset: ds, Model: conv,
-			Description: fmt.Sprintf("%dx%d synthetic MNIST, ConvNet(d=%d)", size, size, conv.Dim()),
-		}, nil
-	case "spambase":
-		ds, err := data.NewSyntheticSpambase(0.394, seed)
-		if err != nil {
-			return nil, err
-		}
-		lr, err := model.NewLogistic(ds.Dim(), seed+1)
-		if err != nil {
-			return nil, err
-		}
-		return &Workload{
-			Name: name, Dataset: ds, Model: lr,
-			Description: fmt.Sprintf("synthetic spambase (57 features), logistic regression (d=%d)", lr.Dim()),
-		}, nil
+		spec = fmt.Sprintf("mnist(size=%d,hidden=%d)", pick(scale, 10, 16), pick(scale, 16, 48))
+	case "mnist-conv", "mnistconv":
+		spec = fmt.Sprintf("mnistconv(size=%d,channels=%d,hidden=%d)",
+			pick(scale, 12, 16), pick(scale, 4, 8), pick(scale, 16, 32))
 	case "mixture":
-		ds, err := data.NewGaussianMixture(3, 8, 4, 0.5, seed)
-		if err != nil {
-			return nil, err
-		}
-		clf, err := model.NewSoftmaxClassifier(8, 3, seed+1)
-		if err != nil {
-			return nil, err
-		}
-		return &Workload{
-			Name: name, Dataset: ds, Model: clf,
-			Description: fmt.Sprintf("3-class Gaussian mixture, softmax classifier (d=%d)", clf.Dim()),
-		}, nil
-	case "regression":
-		ds, err := data.NewLinearRegressionStream(12, 1, 0.2, seed)
-		if err != nil {
-			return nil, err
-		}
-		lr, err := model.NewLinearRegression(12, 1, seed+1)
-		if err != nil {
-			return nil, err
-		}
-		return &Workload{
-			Name: name, Dataset: ds, Model: lr,
-			Description: fmt.Sprintf("linear regression stream, quadratic cost (d=%d)", lr.Dim()),
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown workload %q (have %v): %w", name, WorkloadNames(), ErrConfig)
+		spec = "gmm"
 	}
+	w, err := workload.Parse(workload.SpecContext{Seed: seed}, spec)
+	if err != nil {
+		return nil, fmt.Errorf("workload %q: %w", name, err)
+	}
+	return w, nil
 }

@@ -1,0 +1,128 @@
+package sgd
+
+import (
+	"fmt"
+
+	"krum/internal/spec"
+)
+
+// This file is the central learning-rate schedule registry, the γ_t
+// analogue of the rule registry in internal/core: the harness, the
+// scenario package and the CLI binaries construct schedules exclusively
+// through ParseSchedule. Spec strings take the form
+//
+//	const(gamma=0.5) | inverset(gamma=0.5,power=0.75,t0=200) |
+//	step(gamma=0.5,every=50,factor=0.5)
+//
+// and every built-in Schedule's Name() is itself a valid spec, so
+// schedules round-trip through experiment logs and JSON scenario files.
+
+// ScheduleArgs holds the key=value parameters of a parsed schedule
+// spec.
+type ScheduleArgs = spec.Args
+
+// ScheduleFactory builds a Schedule from a parsed spec. Schedules take
+// no context defaults — gamma must always be spelled out; the remaining
+// parameters have universal defaults.
+type ScheduleFactory = spec.Factory[Schedule, struct{}]
+
+var schedules = spec.NewRegistry[Schedule, struct{}]("schedule", ErrBadSchedule)
+
+// RegisterSchedule adds a schedule factory under the given
+// (case-insensitive) name; it panics on duplicates — a programmer error
+// at init time.
+func RegisterSchedule(name string, f ScheduleFactory) { schedules.Register(name, f) }
+
+// ParseSchedule constructs the schedule described by spec. Unknown
+// names, unknown parameter keys, and malformed values are all reported
+// as wrapped ErrBadSchedule.
+func ParseSchedule(s string) (Schedule, error) { return schedules.Parse(struct{}{}, s) }
+
+// ScheduleNames returns the registered schedule names, sorted.
+func ScheduleNames() []string { return schedules.Names() }
+
+// ScheduleUsage returns a generated one-line summary of every
+// registered schedule with its parameters — CLI help text is built from
+// this so it can never drift from the implemented set.
+func ScheduleUsage() string { return schedules.Usage() }
+
+// gammaArg extracts the mandatory positive gamma parameter.
+func gammaArg(a ScheduleArgs) (float64, error) {
+	if !a.Has("gamma") {
+		return 0, fmt.Errorf("gamma is required: %w", ErrBadSchedule)
+	}
+	gamma, err := a.Float("gamma", 0)
+	if err != nil {
+		return 0, err
+	}
+	if gamma <= 0 {
+		return 0, fmt.Errorf("gamma = %g must be positive: %w", gamma, ErrBadSchedule)
+	}
+	return gamma, nil
+}
+
+// init registers the built-in schedules. Third-party schedules can call
+// RegisterSchedule from their own init functions.
+func init() {
+	RegisterSchedule("const", ScheduleFactory{
+		Params: []string{"gamma"},
+		Doc:    "fixed rate γ_t = gamma (short-horizon experiments; violates Σγ_t² < ∞)",
+		New: func(_ struct{}, a ScheduleArgs) (Schedule, error) {
+			gamma, err := gammaArg(a)
+			if err != nil {
+				return nil, err
+			}
+			return Constant{Gamma: gamma}, nil
+		},
+	})
+	RegisterSchedule("inverset", ScheduleFactory{
+		Params: []string{"gamma", "power", "t0"},
+		Doc:    "Robbins–Monro family γ_t = gamma/(1+t/t0)^power (Proposition 4.3 needs 0.5 < power ≤ 1)",
+		New: func(_ struct{}, a ScheduleArgs) (Schedule, error) {
+			gamma, err := gammaArg(a)
+			if err != nil {
+				return nil, err
+			}
+			power, err := a.Float("power", 0.75)
+			if err != nil {
+				return nil, err
+			}
+			if power <= 0 {
+				return nil, fmt.Errorf("power = %g must be positive: %w", power, ErrBadSchedule)
+			}
+			t0, err := a.Float("t0", 1)
+			if err != nil {
+				return nil, err
+			}
+			if t0 <= 0 {
+				return nil, fmt.Errorf("t0 = %g must be positive: %w", t0, ErrBadSchedule)
+			}
+			return InverseT{Gamma: gamma, Power: power, T0: t0}, nil
+		},
+	})
+	RegisterSchedule("step", ScheduleFactory{
+		Params: []string{"gamma", "every", "factor"},
+		Doc:    "step decay: rate × factor every `every` rounds (deep-learning experiments)",
+		New: func(_ struct{}, a ScheduleArgs) (Schedule, error) {
+			gamma, err := gammaArg(a)
+			if err != nil {
+				return nil, err
+			}
+			every, err := a.Int("every", 0)
+			if err != nil {
+				return nil, err
+			}
+			if every < 0 {
+				return nil, fmt.Errorf("every = %d must be non-negative: %w", every, ErrBadSchedule)
+			}
+			factor, err := a.Float("factor", 1)
+			if err != nil {
+				return nil, err
+			}
+			if factor <= 0 || factor > 1 {
+				return nil, fmt.Errorf("factor = %g outside (0, 1]: %w", factor, ErrBadSchedule)
+			}
+			return Step{Gamma: gamma, Every: every, Factor: factor}, nil
+		},
+	})
+}

@@ -1,0 +1,90 @@
+package sgd
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseScheduleRoundTrip: every built-in schedule round-trips
+// through its Name().
+func TestParseScheduleRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec string
+		name string
+	}{
+		{"const(gamma=0.5)", "const(gamma=0.5)"},
+		{"inverset(gamma=0.1)", "inverset(gamma=0.1,power=0.75,t0=1)"},
+		{"inverset(gamma=0.5,power=0.75,t0=200)", "inverset(gamma=0.5,power=0.75,t0=200)"},
+		{"step(gamma=0.5,every=50,factor=0.5)", "step(gamma=0.5,every=50,factor=0.5)"},
+		{"step(gamma=0.5)", "step(gamma=0.5,every=0,factor=1)"},
+	}
+	for _, tc := range cases {
+		s, err := ParseSchedule(tc.spec)
+		if err != nil {
+			t.Errorf("ParseSchedule(%q): %v", tc.spec, err)
+			continue
+		}
+		if s.Name() != tc.name {
+			t.Errorf("ParseSchedule(%q).Name() = %q, want %q", tc.spec, s.Name(), tc.name)
+			continue
+		}
+		again, err := ParseSchedule(s.Name())
+		if err != nil {
+			t.Errorf("round trip ParseSchedule(%q): %v", s.Name(), err)
+			continue
+		}
+		if again.Name() != s.Name() {
+			t.Errorf("round trip of %q: %q != %q", tc.spec, again.Name(), s.Name())
+		}
+		if got, want := again.Rate(17), s.Rate(17); got != want {
+			t.Errorf("%q: round-tripped rate %v != %v", tc.spec, got, want)
+		}
+	}
+}
+
+func TestParseScheduleMalformedSpecs(t *testing.T) {
+	bad := []string{
+		"",
+		"nosuchschedule",
+		"const",          // gamma required
+		"const(gamma=0)", // out of range
+		"const(gamma=x)", // non-numeric
+		"const(zz=1)",    // unknown parameter
+		"const(gamma=1",  // missing paren
+		"inverset(gamma=0.5,power=0)",
+		"inverset(gamma=0.5,t0=0)",
+		"step(gamma=0.5,every=-1)",
+		"step(gamma=0.5,factor=0)",
+		"step(gamma=0.5,factor=2)",
+	}
+	for _, s := range bad {
+		if _, err := ParseSchedule(s); !errors.Is(err, ErrBadSchedule) {
+			t.Errorf("ParseSchedule(%q) = %v, want wrapped ErrBadSchedule", s, err)
+		}
+	}
+}
+
+func TestScheduleUsageListsEverySchedule(t *testing.T) {
+	usage := ScheduleUsage()
+	for _, name := range ScheduleNames() {
+		if !strings.Contains(usage, name) {
+			t.Errorf("ScheduleUsage() omits %q: %s", name, usage)
+		}
+	}
+	if !strings.Contains(usage, "inverset(gamma,power,t0)") {
+		t.Errorf("ScheduleUsage() should document inverset parameters: %s", usage)
+	}
+}
+
+func TestParseScheduleCaseStable(t *testing.T) {
+	for _, s := range []string{"const(gamma=0.5)", "Const(Gamma=0.5)", "CONST(GAMMA=0.5)"} {
+		sched, err := ParseSchedule(s)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", s, err)
+		}
+		if sched.Name() != "const(gamma=0.5)" {
+			t.Errorf("ParseSchedule(%q).Name() = %q", s, sched.Name())
+		}
+	}
+}

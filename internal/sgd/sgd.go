@@ -20,7 +20,9 @@ var ErrBadSchedule = errors.New("sgd: bad schedule parameter")
 type Schedule interface {
 	// Rate returns γ_t for round t.
 	Rate(t int) float64
-	// Name identifies the schedule in experiment logs.
+	// Name identifies the schedule in experiment logs. For every
+	// built-in the returned string is a valid registry spec:
+	// ParseSchedule(s.Name()) reconstructs s.
 	Name() string
 }
 
@@ -38,7 +40,7 @@ var _ Schedule = Constant{}
 func (c Constant) Rate(int) float64 { return c.Gamma }
 
 // Name implements Schedule.
-func (c Constant) Name() string { return fmt.Sprintf("const(%g)", c.Gamma) }
+func (c Constant) Name() string { return fmt.Sprintf("const(gamma=%g)", c.Gamma) }
 
 // InverseT is the Robbins–Monro family γ_t = Gamma / (1 + t/T0)^Power.
 // For 0.5 < Power ≤ 1 it satisfies both conditions (ii) of
@@ -64,9 +66,14 @@ func (s InverseT) Rate(t int) float64 {
 	return s.Gamma / math.Pow(1+float64(t)/t0, s.Power)
 }
 
-// Name implements Schedule.
+// Name implements Schedule. It reports the effective t0 (1 when unset)
+// so the name round-trips through ParseSchedule.
 func (s InverseT) Name() string {
-	return fmt.Sprintf("invt(g=%g,p=%g,t0=%g)", s.Gamma, s.Power, s.T0)
+	t0 := s.T0
+	if t0 <= 0 {
+		t0 = 1
+	}
+	return fmt.Sprintf("inverset(gamma=%g,power=%g,t0=%g)", s.Gamma, s.Power, t0)
 }
 
 // Validate checks the Robbins–Monro admissibility of the schedule.
@@ -104,7 +111,7 @@ func (s Step) Rate(t int) float64 {
 
 // Name implements Schedule.
 func (s Step) Name() string {
-	return fmt.Sprintf("step(g=%g,every=%d,f=%g)", s.Gamma, s.Every, s.Factor)
+	return fmt.Sprintf("step(gamma=%g,every=%d,factor=%g)", s.Gamma, s.Every, s.Factor)
 }
 
 // Optimizer applies the parameter-server SGD recurrence with an optional

@@ -2,7 +2,7 @@
 // parameter-server architecture: a length-prefixed binary protocol over
 // TCP, a parameter server that drives synchronous rounds across remote
 // workers, and the worker-side loop. It substitutes for the authors'
-// multi-machine testbed (DESIGN.md §2): the synchronous-round semantics
+// multi-machine testbed (see EXPERIMENTS.md): the synchronous-round semantics
 // are identical to the in-process simulator, so any experiment can run
 // over loopback or a real network by swapping the GradientSource.
 //

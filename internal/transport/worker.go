@@ -17,7 +17,7 @@ import (
 // behaviours implement the attacks that do not require the omniscient
 // view (a real network adversary cannot read other workers' proposals;
 // omniscient attacks are reproduced on the in-process substrate, see
-// DESIGN.md §2).
+// EXPERIMENTS.md).
 type WorkerBehaviour int
 
 // Supported behaviours (start at 1 per the style guide).

@@ -73,6 +73,13 @@
 //		Schedule: krum.ScheduleInverseT(0.1, 0.75),
 //	})
 //
+// Whole experiment grids are declarative too: package krum/scenario
+// turns (workload, rule, attack, schedule) spec strings plus the
+// cluster shape into JSON-serializable scenario.Spec values, expands
+// cartesian matrices over any axis, and runs them on a bounded
+// concurrent runner — the machinery behind
+// `krum-experiments -config matrix.json`.
+//
 // See the examples/ directory for complete programs and EXPERIMENTS.md
 // for the reproduction of every figure of the paper's evaluation.
 package krum
@@ -265,6 +272,34 @@ func VerifyResilience(cfg ResilienceConfig) (*ResilienceReport, error) {
 
 // Schedule is a learning-rate schedule γ_t.
 type Schedule = sgd.Schedule
+
+// ScheduleFactory builds a schedule from a parsed spec; see
+// RegisterSchedule.
+type ScheduleFactory = sgd.ScheduleFactory
+
+// ErrBadSchedule is returned for malformed schedule specs and invalid
+// schedule parameters.
+var ErrBadSchedule = sgd.ErrBadSchedule
+
+// ParseSchedule constructs a schedule from a registry spec string such
+// as "const(gamma=0.1)" or "inverset(gamma=0.5,power=0.75,t0=200)" —
+// the form accepted by the CLI binaries, scenario files, and
+// distsgd.Config.ScheduleSpec. Every built-in schedule's Name() is
+// itself a valid spec (round-trips).
+func ParseSchedule(spec string) (Schedule, error) { return sgd.ParseSchedule(spec) }
+
+// RegisterSchedule adds a custom schedule factory to the central
+// registry under the given (case-insensitive) name; it panics on
+// duplicates.
+func RegisterSchedule(name string, f ScheduleFactory) { sgd.RegisterSchedule(name, f) }
+
+// ScheduleNames returns the sorted names of every registered schedule.
+func ScheduleNames() []string { return sgd.ScheduleNames() }
+
+// ScheduleUsage returns a generated one-line summary of every
+// registered schedule with its parameters — CLI help text is built from
+// this.
+func ScheduleUsage() string { return sgd.ScheduleUsage() }
 
 // ScheduleConstant returns the fixed schedule γ_t = gamma.
 func ScheduleConstant(gamma float64) Schedule { return sgd.Constant{Gamma: gamma} }

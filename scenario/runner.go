@@ -1,0 +1,105 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"krum/distsgd"
+)
+
+// CellResult is the outcome of one matrix cell.
+type CellResult struct {
+	// Index is the cell's position in the expansion order — results are
+	// returned sorted by it, so output is deterministic regardless of
+	// which goroutine finished first.
+	Index int
+	// Spec is the cell that ran.
+	Spec Spec
+	// Result is the training outcome (nil when Err is set).
+	Result *distsgd.Result
+	// Err is the cell's failure, if any; other cells still run.
+	Err error
+}
+
+// Runner executes matrix cells across a bounded goroutine pool. Every
+// cell is an independent, explicitly-seeded training run, so results
+// are identical whatever the worker count or scheduling — two
+// executions of the same matrix agree cell for cell.
+type Runner struct {
+	// Workers bounds cell-level concurrency; 0 means runtime.NumCPU().
+	Workers int
+	// OnCell, when non-nil, observes each result as its cell finishes
+	// (completion order, not index order). Calls are serialized, so the
+	// callback may write to shared state without locking.
+	OnCell func(CellResult)
+}
+
+// Run expands the matrix and executes every cell. The returned slice is
+// in expansion order; the returned error joins the per-cell failures
+// (nil when every cell succeeded).
+func (r *Runner) Run(m Matrix) ([]CellResult, error) {
+	return r.RunCells(m.Cells())
+}
+
+// RunCells executes an explicit cell list — the escape hatch for grids
+// that are not a single cartesian product (e.g. a clean arm at f = 0
+// joined with an attacked arm at f > 0).
+func (r *Runner) RunCells(cells []Spec) ([]CellResult, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("no cells to run: %w", ErrBadSpec)
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	results := make([]CellResult, len(cells))
+	idx := make(chan int)
+	var cbMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				cr := runCell(i, cells[i])
+				results[i] = cr
+				if r.OnCell != nil {
+					cbMu.Lock()
+					r.OnCell(cr)
+					cbMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var errs []error
+	for i := range results {
+		if results[i].Err != nil {
+			errs = append(errs, fmt.Errorf("cell %d (%s): %w", i, results[i].Spec.Label(), results[i].Err))
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// runCell compiles and trains one cell.
+func runCell(i int, cell Spec) CellResult {
+	cr := CellResult{Index: i, Spec: cell}
+	cfg, err := cell.Compile()
+	if err != nil {
+		cr.Err = err
+		return cr
+	}
+	cr.Result, cr.Err = distsgd.Run(cfg)
+	return cr
+}
