@@ -1,14 +1,22 @@
 GO ?= go
 
 # The tracked perf-trajectory benchmarks `make bench` records in
-# BENCH_scenario.json: the memoized Bulyan kernel and the concurrent
-# scenario-matrix runner throughput.
-TRACKED_BENCHES ?= BenchmarkBulyanMemoized|BenchmarkScenarioMatrixRunner
+# BENCH_scenario.json: the memoized Bulyan kernel, the concurrent
+# scenario-matrix runner throughput, and the blocked/incremental
+# distance-matrix kernels.
+TRACKED_BENCHES ?= BenchmarkBulyanMemoized|BenchmarkScenarioMatrixRunner|BenchmarkDistanceMatrix|BenchmarkDistanceMatrixIncremental
 
-.PHONY: check fmt vet build test bench bench-all
+# Per-target budget for the fuzz smoke pass (CI keeps it short; crank
+# it up locally for a real hunt).
+FUZZTIME ?= 10s
 
-# check is the CI gate: formatting, static analysis, build, tests.
-check: fmt vet build test
+.PHONY: check fmt vet build test race fuzz-smoke bench bench-all
+
+# check is the CI gate: formatting, static analysis, build, and the
+# race-detector pass over the full tree (race runs every test, so a
+# separate plain `test` pass would only repeat it; CI runs the two as
+# parallel jobs instead).
+check: fmt vet build race
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -22,6 +30,23 @@ build:
 
 test:
 	$(GO) test ./...
+
+# race runs the full suite under the race detector — the concurrent
+# scenario runner, the parallel distance kernel, and the cross-round
+# cache all carry determinism contracts that only mean something if
+# they are also data-race-free.
+race:
+	$(GO) test -race ./...
+
+# fuzz-smoke runs each native fuzz target for a short budget (seeds +
+# committed corpus + a few seconds of mutation). One target at a time:
+# `go test -fuzz` accepts a single target per invocation.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseRule$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzParseRuleIn$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzParseAttack$$' -fuzztime $(FUZZTIME) ./attack
+	$(GO) test -run '^$$' -fuzz '^FuzzParseSchedule$$' -fuzztime $(FUZZTIME) ./internal/sgd
+	$(GO) test -run '^$$' -fuzz '^FuzzParseWorkload$$' -fuzztime $(FUZZTIME) ./workload
 
 # bench runs the tracked benchmarks and emits BENCH_scenario.json:
 # parsed metrics plus the raw `go test -bench` text in the "raw" field

@@ -1,0 +1,35 @@
+package attack
+
+import "testing"
+
+// FuzzParseAttack drives the attack-spec parser with arbitrary input:
+// no input may panic, and any accepted spec must round-trip — the
+// constructed strategy's Name() is itself a valid spec whose reparse
+// yields the same Name (the contract that lets attacks travel through
+// experiment tables and JSON scenario files).
+func FuzzParseAttack(f *testing.F) {
+	for _, seed := range []string{
+		"none", "gaussian", "gaussian(sigma=200)", "omniscient",
+		"omniscient(scale=20)", "signflip", "mimic", "crash(after=10)",
+		"littleisenough(z=1.5)", "hiddencoordinate(coord=3,value=100)",
+		"medoidcollusion", "GAUSSIAN(SIGMA=1)", " crash ( after = 0 ) ",
+		"", "(", "gaussian(sigma=)", "gaussian(sigma=-1)", "gaussian(sigma=NaN)",
+		"crash(after=x)", "nosuchattack", "gaussian(sigma=1,sigma=2)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		atk, err := Parse(s) // must not panic, whatever s is
+		if err != nil {
+			return
+		}
+		name := atk.Name()
+		back, err := Parse(name)
+		if err != nil {
+			t.Fatalf("accepted spec %q produced Name %q that does not reparse: %v", s, name, err)
+		}
+		if got := back.Name(); got != name {
+			t.Fatalf("Name round-trip unstable for spec %q: %q -> %q", s, name, got)
+		}
+	})
+}

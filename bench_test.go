@@ -236,6 +236,68 @@ func BenchmarkBulyanMemoized(b *testing.B) {
 	b.ReportMetric(float64(n-2*f), "theta")
 }
 
+// BenchmarkDistanceMatrix contrasts the distance-matrix kernels at the
+// Lemma 4.1 stress point (n = 40, d = 10000): the seed's per-pair
+// subtract-square loop ("naive") against the blocked Gram-trick kernel
+// (SSE2 2×4 tiles on amd64), serial and parallel. The blocked/naive
+// ratio is the tracked speedup (≥3× on amd64). The parallel variant is
+// recorded for the trajectory but no longer wins at this point: the
+// blocked kernel saturates single-socket memory bandwidth, so extra
+// goroutines only help at larger working sets (see
+// BenchmarkKrumParallel at d = 100000).
+func BenchmarkDistanceMatrix(b *testing.B) {
+	const n, d = 40, 10000
+	vs := benchVectors(n, d)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vec.NewDistanceMatrixNaive(vs)
+		}
+	})
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vec.NewDistanceMatrix(vs)
+		}
+	})
+	b.Run("blocked-parallel8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vec.NewDistanceMatrixParallel(vs, 8)
+		}
+	})
+}
+
+// BenchmarkDistanceMatrixIncremental measures the cross-round
+// incremental path at the same stress point: UpdateRows over change
+// sets of c ∈ {1, 2, 4, 10} proposals (2.5%–25% of n) against the
+// full blocked rebuild every round ("full-rebuild"). Steady-state cost
+// is Θ(c·n·d) vs Θ(n²·d), so small change-sets win by n/(2c)-ish;
+// the recorded full-rebuild/changed ratios are the tracked numbers.
+func BenchmarkDistanceMatrixIncremental(b *testing.B) {
+	const n, d = 40, 10000
+	vs := benchVectors(n, d)
+	b.Run("full-rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vec.NewDistanceMatrix(vs)
+		}
+	})
+	for _, c := range []int{1, 2, 4, 10} {
+		b.Run(fmt.Sprintf("changed=%d", c), func(b *testing.B) {
+			m := vec.NewDistanceMatrix(vs)
+			// Two alternating variants of the changed rows, so every
+			// iteration installs genuinely different vectors.
+			variants := [2][][]float64{benchVectors(n, d), benchVectors(n, d)}
+			changed := make([]int, c)
+			for k := range changed {
+				changed[k] = (k * 7) % n
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.UpdateRows(changed, variants[i%2])
+			}
+			b.ReportMetric(float64(c)/float64(n), "changed-frac")
+		})
+	}
+}
+
 // BenchmarkScenarioMatrixRunner measures scenario-matrix throughput on
 // the concurrent runner — cells/sec over a 12-cell (rules × attacks ×
 // seeds) grid of short training runs. This is the tracked metric for

@@ -127,6 +127,19 @@ type Config struct {
 	// per-round distance matrix (0 = serial); see
 	// vec.NewDistanceMatrixParallel for the d ≫ n crossover.
 	Parallel int
+	// Incremental carries the distance matrix across rounds through the
+	// engine's RoundCache: each round the engine recomputes only the
+	// rows of proposals that actually changed (exact comparison against
+	// the cached copies), turning the steady-state distance cost from
+	// O(n²·d) into O(c·n·d) for c changed proposals. Results are
+	// bit-identical with or without the flag — reused cells equal what
+	// a rebuild would recompute — so this is purely a time/space trade:
+	// the cache retains O(n·d + n²) memory and pays an O(n·d) diff per
+	// round, which only pays off when some workers replay proposals
+	// (crashed/stalled workers, replay attacks, frozen shards). The
+	// cache is bypassed (full rebuild) on the first round, on a shape
+	// change, and when every proposal changed.
+	Incremental bool
 	// N is the total number of workers; F of them are Byzantine
 	// (0 ≤ F < N).
 	N, F int
@@ -268,8 +281,13 @@ func Run(cfg Config) (*Result, error) {
 	// The engine hands out one RoundContext per round so that selection
 	// tracking and aggregation share a single distance matrix; the
 	// proposal slice and the pooled update buffer are reused across all
-	// rounds (every rule fully overwrites dst).
+	// rounds (every rule fully overwrites dst). With Incremental set
+	// the engine additionally carries the matrix across rounds and the
+	// loop passes each round's change-set through the context.
 	engine := core.NewEngine(cfg.Parallel)
+	if cfg.Incremental {
+		engine.EnableCache()
+	}
 	proposals := make([][]float64, cfg.N)
 	update := vec.GetFloats(dim)
 	defer vec.PutFloats(update)
@@ -305,6 +323,13 @@ func Run(cfg Config) (*Result, error) {
 		stats := RoundStats{Round: t, TrainLoss: trainLoss, LearningRate: opt.CurrentRate()}
 
 		round := engine.Round(proposals)
+		if cache := engine.Cache(); cache != nil {
+			// The honest change-set: proposals that differ bitwise from
+			// the cached previous round. Workers whose proposals
+			// replayed verbatim (crashed, stalled, frozen) cost no
+			// distance recomputation this round.
+			round.SetChanged(cache.Changed(proposals))
+		}
 		if cfg.TrackSelection {
 			if sel, ok := cfg.Rule.(core.Selector); ok {
 				indices, err := core.SelectContext(sel, round)

@@ -3,6 +3,7 @@ package distsgd
 import (
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"krum"
@@ -36,6 +37,55 @@ func quickConfig(t *testing.T) Config {
 		Seed:      7,
 		EvalEvery: 20,
 		EvalBatch: 400,
+	}
+}
+
+// TestRunIncrementalBitIdentical is the cross-round cache's contract
+// at the training level: the same config with and without Incremental
+// produces bit-identical histories and final parameters — the cache
+// only changes how much of the distance matrix each round recomputes.
+// The crash attack makes the Byzantine proposals constant from round 5
+// on, so the cached run must actually take the incremental path (row
+// updates observed, fewer full builds than rounds) rather than
+// trivially rebuilding every round.
+func TestRunIncrementalBitIdentical(t *testing.T) {
+	base := quickConfig(t)
+	base.Attack = attack.Crash{After: 5}
+	base.Rounds = 20
+	base.EvalEvery = 5
+
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := base
+	inc.Incremental = true
+	builds := vec.MatrixBuildCount()
+	rows := vec.MatrixRowUpdateCount()
+	cached, err := Run(inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBuilds := vec.MatrixBuildCount() - builds
+	gotRows := vec.MatrixRowUpdateCount() - rows
+	if gotRows == 0 {
+		t.Error("incremental run never recomputed a row: cache path not exercised")
+	}
+	if gotBuilds >= uint64(base.Rounds) {
+		t.Errorf("incremental run built %d matrices over %d rounds: cache never reused", gotBuilds, base.Rounds)
+	}
+
+	if !reflect.DeepEqual(plain.FinalParams, cached.FinalParams) {
+		t.Error("FinalParams differ between incremental and full recompute")
+	}
+	if len(plain.History) != len(cached.History) {
+		t.Fatalf("history lengths differ: %d vs %d", len(plain.History), len(cached.History))
+	}
+	for r := range plain.History {
+		if plain.History[r] != cached.History[r] {
+			t.Errorf("round %d stats differ: %+v vs %+v", r, plain.History[r], cached.History[r])
+			break
+		}
 	}
 }
 

@@ -17,6 +17,13 @@ type RoundContext struct {
 	vectors  [][]float64
 	parallel int
 	dm       *vec.DistanceMatrix
+	// cache, when non-nil, serves Distances through the engine's
+	// cross-round cache instead of building a fresh matrix.
+	cache *RoundCache
+	// changed is the caller-declared change-set (see SetChanged);
+	// changedKnown distinguishes "nothing changed" from "unknown".
+	changed      []int
+	changedKnown bool
 }
 
 // NewRoundContext returns a context over one round's proposals.
@@ -43,6 +50,20 @@ func (c *RoundContext) EnsureParallel(workers int) {
 	}
 }
 
+// SetChanged declares the change-set for a cached round: the indices
+// of proposals whose contents differ from the previous round's (as
+// held by the engine's RoundCache). The contract is one-sided — every
+// changed index MUST be listed, extra indices merely waste work. Rounds
+// through an uncached engine ignore the declaration. Callers that do
+// not know their change-set should not call SetChanged at all: the
+// cache then diffs the proposals itself. It returns the context for
+// chaining.
+func (c *RoundContext) SetChanged(changed []int) *RoundContext {
+	c.changed = changed
+	c.changedKnown = true
+	return c
+}
+
 // N returns the number of proposals.
 func (c *RoundContext) N() int { return len(c.vectors) }
 
@@ -50,16 +71,31 @@ func (c *RoundContext) N() int { return len(c.vectors) }
 func (c *RoundContext) Vectors() [][]float64 { return c.vectors }
 
 // Distances returns the pairwise squared-distance matrix, building it
-// on first use and memoizing it for every later caller.
+// on first use and memoizing it for every later caller. Contexts from
+// a cache-enabled engine route through the cross-round RoundCache,
+// which recomputes only the rows of changed proposals when it can.
+//
+// Aliasing: on a cache-enabled engine the returned matrix is the
+// cache's long-lived instance — the NEXT round's update rewrites its
+// cells in place. Use it within the round it was obtained for; callers
+// that need to retain distances across rounds must copy them out.
 func (c *RoundContext) Distances() *vec.DistanceMatrix {
 	if c.dm == nil {
-		if c.parallel > 1 {
-			c.dm = vec.NewDistanceMatrixParallel(c.vectors, c.parallel)
+		if c.cache != nil {
+			c.dm = c.cache.distances(c.vectors, c.changed, c.changedKnown, c.parallel)
 		} else {
-			c.dm = vec.NewDistanceMatrix(c.vectors)
+			c.dm = buildMatrix(c.vectors, c.parallel)
 		}
 	}
 	return c.dm
+}
+
+// buildMatrix is the one place a fresh distance matrix is constructed.
+func buildMatrix(vectors [][]float64, parallel int) *vec.DistanceMatrix {
+	if parallel > 1 {
+		return vec.NewDistanceMatrixParallel(vectors, parallel)
+	}
+	return vec.NewDistanceMatrix(vectors)
 }
 
 // ContextSelector is implemented by selection rules whose Select can
@@ -97,24 +133,150 @@ func AggregateContext(rule Rule, dst []float64, ctx *RoundContext) error {
 	return rule.Aggregate(dst, ctx.Vectors())
 }
 
+// RoundCache carries the distance matrix ACROSS rounds: because SGD
+// proposals often move little (or, for crashed/replaying Byzantine
+// workers, not at all) between consecutive rounds, a round in which
+// only c of n proposals changed needs only those c rows recomputed —
+// Θ(c·n·d) instead of the full Θ(n²·d) rebuild (Lemma 4.1's bill).
+//
+// The cache holds its own copies of the previous round's vectors
+// (inside vec.DistanceMatrix), so callers may freely recycle proposal
+// buffers between rounds. It falls back to a full rebuild when there
+// is nothing to reuse: the first round, a shape change (different n or
+// d), or a change-set covering every proposal.
+//
+// A RoundCache is owned by one Engine and is NOT goroutine-safe: it
+// serves the strictly sequential round loop of a single training run
+// (concurrent scenario cells each own their engine).
+type RoundCache struct {
+	dm *vec.DistanceMatrix
+	// stats, exposed through Stats for tests and diagnostics.
+	builds  uint64
+	reuses  uint64
+	rowUpds uint64
+}
+
+// CacheStats summarizes how a RoundCache served its rounds.
+type CacheStats struct {
+	// Builds counts full matrix (re)builds, including the first round.
+	Builds uint64
+	// Reuses counts rounds served without building: fully unchanged
+	// rounds plus rounds served by incremental row updates.
+	Reuses uint64
+	// RowUpdates counts individual row recomputations across all
+	// incremental rounds.
+	RowUpdates uint64
+}
+
+// Stats returns the cache's serving counters.
+func (rc *RoundCache) Stats() CacheStats {
+	return CacheStats{Builds: rc.builds, Reuses: rc.reuses, RowUpdates: rc.rowUpds}
+}
+
+// Changed returns the indices of vectors that differ from the cache's
+// stored copies — the honest change-set a round loop passes to
+// RoundContext.SetChanged. With no cached matrix (or a shape change)
+// every index is returned. The comparison is exact (bitwise), so a
+// proposal that merely wiggles in the last ulp still counts as
+// changed: correctness never depends on a tolerance.
+func (rc *RoundCache) Changed(vectors [][]float64) []int {
+	n := len(vectors)
+	if !rc.reusable(vectors) {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	var changed []int
+	for i, v := range vectors {
+		if !rc.dm.VectorEqual(i, v) {
+			changed = append(changed, i)
+		}
+	}
+	return changed
+}
+
+// reusable reports whether the cached matrix matches the round's shape.
+func (rc *RoundCache) reusable(vectors [][]float64) bool {
+	n := len(vectors)
+	if rc.dm == nil || rc.dm.N() != n || n == 0 {
+		return false
+	}
+	return rc.dm.Dim() == len(vectors[0])
+}
+
+// distances serves one round's matrix: full rebuild when the cache is
+// cold, the shape changed, or (nearly) everything changed; otherwise
+// incremental row updates for the changed set. An unknown change-set
+// is diffed here, so cached engines stay transparent to callers that
+// never declare one.
+func (rc *RoundCache) distances(vectors [][]float64, changed []int, changedKnown bool, parallel int) *vec.DistanceMatrix {
+	if !rc.reusable(vectors) {
+		rc.dm = buildMatrix(vectors, parallel)
+		rc.builds++
+		return rc.dm
+	}
+	if !changedKnown {
+		changed = rc.Changed(vectors)
+	}
+	if len(changed) >= len(vectors) {
+		rc.dm = buildMatrix(vectors, parallel)
+		rc.builds++
+		return rc.dm
+	}
+	rc.reuses++
+	if len(changed) > 0 {
+		rc.dm.UpdateRows(changed, vectors)
+		rc.rowUpds += uint64(len(changed))
+	}
+	return rc.dm
+}
+
 // Engine is the shared aggregation engine of the parameter server: it
 // hands out one RoundContext per round so that selection tracking,
 // aggregation, and any diagnostics all share a single distance matrix.
-// The zero value is ready to use (serial matrix construction).
+// The zero value is ready to use (serial matrix construction, no
+// cross-round cache).
 type Engine struct {
 	// Parallel is the number of goroutines used for each round's
 	// distance matrix (0 = serial); see vec.NewDistanceMatrixParallel
 	// for the d ≫ n crossover.
 	Parallel int
+	// cache, when enabled, reuses the previous round's matrix through
+	// incremental row updates; see RoundCache.
+	cache *RoundCache
 }
 
 // NewEngine returns an engine building distance matrices with the given
 // number of goroutines (0 = serial).
 func NewEngine(parallel int) *Engine { return &Engine{Parallel: parallel} }
 
-// Round returns the shared context for one round's proposals.
+// EnableCache switches the engine to cross-round incremental distance
+// updates (idempotent) and returns the engine for chaining. Enabling
+// the cache never changes results — reused and recomputed cells are
+// bit-identical to a fresh build — it only changes how much of the
+// matrix each round recomputes, at the price of the cache retaining
+// O(n·d + n²) memory between rounds.
+func (e *Engine) EnableCache() *Engine {
+	if e.cache == nil {
+		e.cache = &RoundCache{}
+	}
+	return e
+}
+
+// Cache returns the engine's cross-round cache, or nil when caching is
+// not enabled.
+func (e *Engine) Cache() *RoundCache { return e.cache }
+
+// Round returns the shared context for one round's proposals. On a
+// cache-enabled engine the context serves Distances through the
+// cache; pass the round's change-set with RoundContext.SetChanged to
+// skip the cache's own diff.
 func (e *Engine) Round(vectors [][]float64) *RoundContext {
-	return NewRoundContext(vectors).SetParallel(e.Parallel)
+	ctx := NewRoundContext(vectors).SetParallel(e.Parallel)
+	ctx.cache = e.cache
+	return ctx
 }
 
 // Select runs a selection rule over one round through a fresh context.

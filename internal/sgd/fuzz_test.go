@@ -1,0 +1,35 @@
+package sgd
+
+import "testing"
+
+// FuzzParseSchedule drives the learning-rate schedule parser with
+// arbitrary input: no input may panic, and any accepted spec must
+// round-trip — the constructed schedule's Name() is itself a valid
+// spec whose reparse yields the same Name.
+func FuzzParseSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"const(gamma=0.5)", "inverset(gamma=0.5)",
+		"inverset(gamma=0.5,power=0.75,t0=200)",
+		"step(gamma=0.1,every=50,factor=0.5)",
+		"CONST(GAMMA=1)", " step ( gamma = 0.1 ) ",
+		"", "const", "const()", "const(gamma=0)", "const(gamma=-1)",
+		"const(gamma=x)", "inverset(power=0.75)", "step(gamma=0.1,every=-1)",
+		"nosuchschedule", "const(gamma=1,gamma=2)", "const(gamma=1e999)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sched, err := ParseSchedule(s) // must not panic, whatever s is
+		if err != nil {
+			return
+		}
+		name := sched.Name()
+		back, err := ParseSchedule(name)
+		if err != nil {
+			t.Fatalf("accepted spec %q produced Name %q that does not reparse: %v", s, name, err)
+		}
+		if got := back.Name(); got != name {
+			t.Fatalf("Name round-trip unstable for spec %q: %q -> %q", s, name, got)
+		}
+	})
+}

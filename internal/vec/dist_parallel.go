@@ -7,43 +7,39 @@ import (
 
 // NewDistanceMatrixParallel computes the same matrix as
 // NewDistanceMatrix using up to workers goroutines (0 means
-// GOMAXPROCS). The n·(n−1)/2 pairs are strided across workers; each
-// pair's O(d) inner product dominates, so speedup is close to linear in
-// the deep-learning regime (d ≫ n) the paper targets — Lemma 4.1's cost
+// GOMAXPROCS). Row pairs are strided across workers — the pair at row
+// u carries ~2·(n−u) upper-triangle dots, so striding balances the
+// triangular load — and every pair goes through the same blocked
+// Gram-trick builder as the serial constructor, so the result is
+// bit-identical whatever the worker count (the concurrency contract
+// the scenario runner's determinism test pins down). Each dot's O(d)
+// inner product dominates, so speedup is close to linear in the
+// deep-learning regime (d ≫ n) the paper targets — Lemma 4.1's cost
 // lives almost entirely here.
 func NewDistanceMatrixParallel(vectors [][]float64, workers int) *DistanceMatrix {
 	n := len(vectors)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if pairs := (n + 1) / 2; workers > pairs {
+		workers = pairs
+	}
 	// Small inputs: the goroutine overhead dwarfs the work.
-	if workers == 1 || n < 4 {
+	if workers <= 1 || n < 4 {
 		return NewDistanceMatrix(vectors)
 	}
-	matrixBuilds.Add(1)
-	m := &DistanceMatrix{n: n, d: make([]float64, n*n)}
-	// Enumerate the upper-triangle pairs once so strided assignment
-	// balances load regardless of row length.
-	type pair struct{ i, j int }
-	pairs := make([]pair, 0, n*(n-1)/2)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			pairs = append(pairs, pair{i, j})
-		}
-	}
-	if workers > len(pairs) {
-		workers = len(pairs)
-	}
+	m := newShell(vectors)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for k := w; k < len(pairs); k += workers {
-				p := pairs[k]
-				dist := Dist2(vectors[p.i], vectors[p.j])
-				m.d[p.i*n+p.j] = dist
-				m.d[p.j*n+p.i] = dist
+			// buildRowPair writes cells (u, j>u), (u+1, j>u+1) and
+			// their column mirrors; distinct pairs never write the
+			// same cell, so the workers share no state beyond the
+			// matrix buffer.
+			for u := 2 * w; u < n; u += 2 * workers {
+				m.buildRowPair(u)
 			}
 		}(w)
 	}

@@ -107,6 +107,48 @@ func TestSumKSmallestMatchesSortOracle(t *testing.T) {
 	}
 }
 
+// TestSumKSmallestBoundaries pins the selection boundaries: k = 0
+// (empty selection), k = n−1 (every other vector, exactly the Krum sum
+// at f = −1), k beyond the candidate count (graceful saturation), and
+// duplicate distances (ties must not double- or under-count).
+func TestSumKSmallestBoundaries(t *testing.T) {
+	// Distances² from vector 0: 1, 1, 4, 4, 9 — duplicates on purpose.
+	vs := [][]float64{{0}, {1}, {-1}, {2}, {-2}, {3}}
+	n := len(vs)
+	m := NewDistanceMatrix(vs)
+	scratch := make([]float64, n)
+	tests := []struct {
+		k    int
+		want float64
+	}{
+		{k: 0, want: 0},
+		{k: -3, want: 0},       // negative k behaves like zero
+		{k: 1, want: 1},        // one of the tied pair
+		{k: 2, want: 2},        // both tied values, not the same one twice
+		{k: 3, want: 6},        // 1+1+4 crosses a tie boundary
+		{k: 4, want: 10},       // 1+1+4+4
+		{k: n - 1, want: 19},   // all five others
+		{k: n, want: 19},       // k beyond the candidate count saturates
+		{k: 100 * n, want: 19}, // far beyond
+	}
+	for _, tt := range tests {
+		if got := m.SumKSmallestExcludingSelf(0, tt.k, scratch); got != tt.want {
+			t.Errorf("k=%d: got %v, want %v", tt.k, got, tt.want)
+		}
+	}
+	// The self-distance stays excluded even when every candidate is a
+	// duplicate of it.
+	dup := NewDistanceMatrix([][]float64{{0}, {0}, {0}})
+	if got := dup.SumKSmallestExcludingSelf(1, 2, scratch); got != 0 {
+		t.Errorf("all-duplicate matrix: got %v, want 0", got)
+	}
+	// n = 1: no candidates at all.
+	single := NewDistanceMatrix([][]float64{{5}})
+	if got := single.SumKSmallestExcludingSelf(0, 1, scratch); got != 0 {
+		t.Errorf("single-vector matrix: got %v, want 0", got)
+	}
+}
+
 func TestKSmallestIndices(t *testing.T) {
 	vals := []float64{5, 1, 3, 1, 0}
 	tests := []struct {

@@ -1,0 +1,91 @@
+package vec
+
+// This file holds the blocked Gram-trick microkernels behind
+// DistanceMatrix: every pairwise squared distance is assembled as
+//
+//	‖a−b‖² = ‖a‖² + ‖b‖² − 2·⟨a,b⟩
+//
+// so the O(n²·d) work collapses into inner products, which vectorize
+// far better than the per-pair subtract-square loop (no serial
+// dependency on a single accumulator, one shared load of a[k] feeding
+// four columns).
+//
+// BIT-STABILITY CONTRACT: dotPairGo defines the one canonical
+// accumulation order for an inner product — two interleaved even/odd
+// partial sums reduced as s0+s1 at the end — and every other entry
+// point (dot4 columns, norms, row updates, the parallel builder, and
+// the amd64 SSE2 assembly in gram_amd64.s, whose two 64-bit lanes ARE
+// the even/odd pair) reproduces exactly that order. IEEE-754
+// multiplication is commutative bit for bit and the k-order never
+// changes, so ⟨a,b⟩ is bit-identical whichever kernel, goroutine
+// count, or tile alignment computes it. This is what lets
+// DistanceMatrix.UpdateRow promise results identical to a full
+// rebuild, and the scenario runner promise identical results across
+// worker counts.
+//
+// dotPair and dot4 (the names the matrix code calls) dispatch to the
+// assembly on amd64 and to these reference implementations elsewhere;
+// gram_test.go pins the two to exact equality.
+
+// dotPairGo returns ⟨a,b⟩ using the canonical two-accumulator order.
+// The two independent chains break the add-latency dependency that
+// bounds the naive loop; the final reduction is s0 + s1.
+func dotPairGo(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s0, s1 float64
+	k := 0
+	for ; k+2 <= len(a); k += 2 {
+		s0 += a[k] * b[k]
+		s1 += a[k+1] * b[k+1]
+	}
+	if k < len(a) {
+		s0 += a[k] * b[k]
+	}
+	return s0 + s1
+}
+
+// dot4Go returns ⟨a,b0⟩, ⟨a,b1⟩, ⟨a,b2⟩, ⟨a,b3⟩ in one pass over a:
+// the 1×4 register tile of the blocked kernel. Each load of a[k] feeds
+// four independent multiply-add chains, and every column keeps its own
+// even/odd accumulator pair, so each result is bit-identical to
+// dotPairGo(a, bi).
+func dot4Go(a, b0, b1, b2, b3 []float64) (r0, r1, r2, r3 float64) {
+	n := len(a)
+	b0 = b0[:n]
+	b1 = b1[:n]
+	b2 = b2[:n]
+	b3 = b3[:n]
+	var p0, q0, p1, q1, p2, q2, p3, q3 float64
+	k := 0
+	for ; k+2 <= n; k += 2 {
+		x, y := a[k], a[k+1]
+		p0 += x * b0[k]
+		q0 += y * b0[k+1]
+		p1 += x * b1[k]
+		q1 += y * b1[k+1]
+		p2 += x * b2[k]
+		q2 += y * b2[k+1]
+		p3 += x * b3[k]
+		q3 += y * b3[k+1]
+	}
+	if k < n {
+		x := a[k]
+		p0 += x * b0[k]
+		p1 += x * b1[k]
+		p2 += x * b2[k]
+		p3 += x * b3[k]
+	}
+	return p0 + q0, p1 + q1, p2 + q2, p3 + q3
+}
+
+// dot24Go is the 2×4 tile: the dots of two row vectors a0, a1 against
+// four column vectors in one conceptual pass, written to out as
+// [⟨a0,b0⟩..⟨a0,b3⟩, ⟨a1,b0⟩..⟨a1,b3⟩]. The tile exists for memory
+// traffic, not arithmetic: each streamed b column is reused by two
+// rows, cutting the bandwidth per pair to 6/8 of a vector where the
+// 1×4 tile pays 5/4. Every pair keeps the canonical dotPairGo order —
+// the reference implementation simply runs dot4Go twice.
+func dot24Go(a0, a1, b0, b1, b2, b3 []float64, out *[8]float64) {
+	out[0], out[1], out[2], out[3] = dot4Go(a0, b0, b1, b2, b3)
+	out[4], out[5], out[6], out[7] = dot4Go(a1, b0, b1, b2, b3)
+}

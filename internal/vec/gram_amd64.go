@@ -1,0 +1,62 @@
+//go:build amd64
+
+package vec
+
+// amd64 dispatch for the Gram microkernels: SSE2 is part of the amd64
+// baseline, so no feature detection is needed. The assembly keeps the
+// canonical even/odd accumulation order of dotPairGo — the two 64-bit
+// lanes of one XMM accumulator are exactly the (s0, s1) pair — so the
+// results are bit-identical to the pure-Go reference (pinned by
+// gram_test.go), just at two multiply-adds per instruction.
+
+//go:noescape
+func dotSSE2(a, b *float64, n int) float64
+
+//go:noescape
+func dot4SSE2(a, b0, b1, b2, b3 *float64, n int, out *[4]float64)
+
+//go:noescape
+func dot24SSE2(a0, a1, b0, b1, b2, b3 *float64, n int, out *[8]float64)
+
+// dotPair returns ⟨a,b⟩; see dotPairGo for the accumulation-order
+// contract.
+func dotPair(a, b []float64) float64 {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	b = b[:n]
+	return dotSSE2(&a[0], &b[0], n)
+}
+
+// dot4 returns ⟨a,b0⟩, ⟨a,b1⟩, ⟨a,b2⟩, ⟨a,b3⟩; see dot4Go for the
+// accumulation-order contract.
+func dot4(a, b0, b1, b2, b3 []float64) (float64, float64, float64, float64) {
+	n := len(a)
+	if n == 0 {
+		return 0, 0, 0, 0
+	}
+	b0 = b0[:n]
+	b1 = b1[:n]
+	b2 = b2[:n]
+	b3 = b3[:n]
+	var out [4]float64
+	dot4SSE2(&a[0], &b0[0], &b1[0], &b2[0], &b3[0], n, &out)
+	return out[0], out[1], out[2], out[3]
+}
+
+// dot24 computes the 2×4 tile; see dot24Go for the layout and
+// accumulation-order contract.
+func dot24(a0, a1, b0, b1, b2, b3 []float64, out *[8]float64) {
+	n := len(a0)
+	if n == 0 {
+		*out = [8]float64{}
+		return
+	}
+	a1 = a1[:n]
+	b0 = b0[:n]
+	b1 = b1[:n]
+	b2 = b2[:n]
+	b3 = b3[:n]
+	dot24SSE2(&a0[0], &a1[0], &b0[0], &b1[0], &b2[0], &b3[0], n, out)
+}

@@ -1,0 +1,23 @@
+//go:build !amd64
+
+package vec
+
+// Portable dispatch for the Gram microkernels: non-amd64 platforms run
+// the pure-Go reference implementations, which define the canonical
+// accumulation order the amd64 assembly reproduces bit for bit.
+
+// dotPair returns ⟨a,b⟩; see dotPairGo for the accumulation-order
+// contract.
+func dotPair(a, b []float64) float64 { return dotPairGo(a, b) }
+
+// dot4 returns ⟨a,b0⟩, ⟨a,b1⟩, ⟨a,b2⟩, ⟨a,b3⟩; see dot4Go for the
+// accumulation-order contract.
+func dot4(a, b0, b1, b2, b3 []float64) (float64, float64, float64, float64) {
+	return dot4Go(a, b0, b1, b2, b3)
+}
+
+// dot24 computes the 2×4 tile; see dot24Go for the layout and
+// accumulation-order contract.
+func dot24(a0, a1, b0, b1, b2, b3 []float64, out *[8]float64) {
+	dot24Go(a0, a1, b0, b1, b2, b3, out)
+}

@@ -1,0 +1,63 @@
+package vec
+
+import "testing"
+
+// TestDotKernelsBitIdentical pins the dispatched kernels (SSE2 assembly
+// on amd64) to the pure-Go reference order: every length — including
+// the empty, single-element, and odd-length tails — must agree bit for
+// bit, not just within tolerance. On non-amd64 platforms dispatch IS
+// the reference and the test is trivially green.
+func TestDotKernelsBitIdentical(t *testing.T) {
+	rng := NewRNG(7)
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 33, 100, 1001} {
+		a := rng.NewNormal(n, 0, 3)
+		bs := make([][]float64, 4)
+		for i := range bs {
+			bs[i] = rng.NewNormal(n, 0, 3)
+		}
+		// Inject magnitude spread so accumulation order actually
+		// matters: a reordered sum would differ in the low bits.
+		for k := range a {
+			if k%3 == 0 {
+				a[k] *= 1e8
+			}
+			if k%5 == 0 {
+				a[k] *= 1e-8
+			}
+		}
+		for i, b := range bs {
+			if got, want := dotPair(a, b), dotPairGo(a, b); got != want {
+				t.Errorf("n=%d: dotPair(a, b%d) = %v, reference %v", n, i, got, want)
+			}
+		}
+		g0, g1, g2, g3 := dot4(a, bs[0], bs[1], bs[2], bs[3])
+		w0, w1, w2, w3 := dot4Go(a, bs[0], bs[1], bs[2], bs[3])
+		for i, pair := range [][2]float64{{g0, w0}, {g1, w1}, {g2, w2}, {g3, w3}} {
+			if pair[0] != pair[1] {
+				t.Errorf("n=%d: dot4 column %d = %v, reference %v", n, i, pair[0], pair[1])
+			}
+		}
+		// dot4 columns must equal the pairwise kernel too (the tile is
+		// an arrangement, never a different sum).
+		for i, b := range bs {
+			single := dotPairGo(a, b)
+			quad := []float64{w0, w1, w2, w3}[i]
+			if single != quad {
+				t.Errorf("n=%d: dot4Go column %d = %v, dotPairGo %v", n, i, quad, single)
+			}
+		}
+		// The 2×4 tile: dispatched vs reference vs pairwise, all exact.
+		a1 := rng.NewNormal(n, 0, 3)
+		var got24, want24 [8]float64
+		dot24(a, a1, bs[0], bs[1], bs[2], bs[3], &got24)
+		dot24Go(a, a1, bs[0], bs[1], bs[2], bs[3], &want24)
+		if got24 != want24 {
+			t.Errorf("n=%d: dot24 = %v, reference %v", n, got24, want24)
+		}
+		for i, b := range bs {
+			if want24[i] != dotPairGo(a, b) || want24[4+i] != dotPairGo(a1, b) {
+				t.Errorf("n=%d: dot24Go column %d disagrees with dotPairGo", n, i)
+			}
+		}
+	}
+}

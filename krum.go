@@ -180,6 +180,14 @@ type Engine = core.Engine
 // memoized pairwise distance matrix shared by distance-based rules.
 type RoundContext = core.RoundContext
 
+// RoundCache carries the distance matrix across rounds on a
+// cache-enabled Engine (Engine.EnableCache), recomputing only the rows
+// of proposals that changed between rounds.
+type RoundCache = core.RoundCache
+
+// CacheStats summarizes how a RoundCache served its rounds.
+type CacheStats = core.CacheStats
+
 // ContextSelector is implemented by selection rules that can run
 // against a shared RoundContext.
 type ContextSelector = core.ContextSelector

@@ -77,6 +77,11 @@ type Spec struct {
 	// Parallel is the per-run distance-matrix goroutine count
 	// (0 = serial); cell-level concurrency belongs to Runner.Workers.
 	Parallel int `json:"parallel,omitempty"`
+	// Incremental enables the cross-round incremental distance cache
+	// (see distsgd.Config.Incremental). Results are bit-identical
+	// either way; the flag trades memory for skipped recomputation when
+	// proposals replay across rounds.
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // Label returns a compact human-readable cell identity.
@@ -165,6 +170,7 @@ func (s Spec) Compile() (distsgd.Config, error) {
 		EvalBatch:      s.EvalBatch,
 		TrackSelection: s.TrackSelection,
 		Parallel:       s.Parallel,
+		Incremental:    s.Incremental,
 	}, nil
 }
 

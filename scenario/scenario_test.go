@@ -223,6 +223,56 @@ func TestRunnerDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestRunnerDeterministicWithIncrementalCache extends the concurrency
+// contract to the cross-round incremental distance cache: with
+// Incremental set on every cell, results must be byte-identical (a)
+// across runner worker counts and (b) against the same matrix with the
+// cache disabled. The crash attack freezes the Byzantine proposals
+// from round 3 on, so the cached cells genuinely serve rounds through
+// incremental row updates instead of rebuilding every round.
+func TestRunnerDeterministicWithIncrementalCache(t *testing.T) {
+	base := quickSpec()
+	base.Attack = "crash(after=3)"
+	base.Incremental = true
+	m := Matrix{
+		Base:  base,
+		Rules: []string{"krum", "multikrum(m=5)"},
+		Seeds: []uint64{5, 6},
+	}
+	serial, err := (&Runner{Workers: 1}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&Runner{Workers: 8}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainMatrix := m
+	plainMatrix.Base.Incremental = false
+	plain, err := (&Runner{Workers: 4}).Run(plainMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != m.Size() || len(parallel) != m.Size() || len(plain) != m.Size() {
+		t.Fatalf("result counts: %d / %d / %d, want %d", len(serial), len(parallel), len(plain), m.Size())
+	}
+	for i := range serial {
+		a, b, c := serial[i], parallel[i], plain[i]
+		if !reflect.DeepEqual(a.Result.FinalParams, b.Result.FinalParams) {
+			t.Errorf("cell %d (%s): FinalParams differ across worker counts", i, a.Spec.Label())
+		}
+		if !reflect.DeepEqual(a.Result.FinalParams, c.Result.FinalParams) {
+			t.Errorf("cell %d (%s): incremental cache changed FinalParams", i, a.Spec.Label())
+		}
+		if !reflect.DeepEqual(a.Result.History, b.Result.History) {
+			t.Errorf("cell %d: history differs across worker counts", i)
+		}
+		if !reflect.DeepEqual(a.Result.History, c.Result.History) {
+			t.Errorf("cell %d: incremental cache changed the round history", i)
+		}
+	}
+}
+
 // TestRunnerStreamsEveryCell: OnCell sees each cell exactly once, and
 // FinalParams mutations by the callback cannot corrupt engine state
 // (the defensive-copy contract).

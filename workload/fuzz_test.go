@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"strconv"
+	"testing"
+
+	"krum/internal/spec"
+)
+
+// fuzzGuardErr is a throwaway sentinel for the guard's structural
+// pre-parse; the real sentinel checks happen in Parse itself.
+var fuzzGuardErr = errors.New("workload fuzz guard")
+
+// oversizedSpec reports whether any numeric parameter in s (or a
+// nested spec value, noniid-style) exceeds the fuzz budget. Workload
+// factories construct datasets and models EAGERLY, so an unguarded
+// "mnist(size=999999)" would try to allocate a gigapixel dataset —
+// the guard keeps the fuzzer exploring parser behavior instead of
+// OOM-killing the process. Structurally malformed input passes the
+// guard untouched: Parse must reject it gracefully itself.
+func oversizedSpec(s string, depth int) bool {
+	if depth > 3 {
+		return true
+	}
+	_, args, err := spec.Parse("workload", fuzzGuardErr, s)
+	if err != nil {
+		return false
+	}
+	for _, v := range args {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			if math.Abs(f) > 64 {
+				return true
+			}
+			continue
+		}
+		if oversizedSpec(v, depth+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzParseWorkload drives the workload-spec parser with arbitrary
+// (size-guarded) input: no input may panic, and any accepted spec must
+// round-trip — the constructed workload's canonical Spec string
+// reparses, under the same seed context, to the same Spec.
+func FuzzParseWorkload(f *testing.F) {
+	for _, seed := range []string{
+		"mnist", "mnist(size=10,hidden=16)", "mnistconv(size=12,channels=4)",
+		"spambase", "spambase(spamrate=0.394)", "gmm(k=3,dim=6,radius=4,sigma=0.5)",
+		"regression(dim=8)", "noniid(base=mnist(size=10,hidden=16),classes=3)",
+		"MNIST(SIZE=10)", " gmm ( k = 2 ) ",
+		"", "(", "mnist(size=)", "mnist(size=0)", "mnist(size=-5)",
+		"mnist(hidden=0)", "gmm(k=0)", "noniid(base=nosuchworkload)",
+		"noniid(base=noniid(base=mnist))", "nosuchworkload", "mnist(size=8,size=9)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 256 || oversizedSpec(s, 0) {
+			t.Skip("outside the fuzz size budget")
+		}
+		ctx := SpecContext{Seed: 1}
+		w, err := Parse(ctx, s) // must not panic, whatever s is
+		if err != nil {
+			return
+		}
+		back, err := Parse(ctx, w.Spec)
+		if err != nil {
+			t.Fatalf("accepted spec %q produced canonical Spec %q that does not reparse: %v", s, w.Spec, err)
+		}
+		if back.Spec != w.Spec {
+			t.Fatalf("Spec round-trip unstable for %q: %q -> %q", s, w.Spec, back.Spec)
+		}
+		if back.Name != w.Name {
+			t.Fatalf("Name changed across reparse for %q: %q -> %q", s, w.Name, back.Name)
+		}
+	})
+}
