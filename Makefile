@@ -2,21 +2,30 @@ GO ?= go
 
 # The tracked perf-trajectory benchmarks `make bench` records in
 # BENCH_scenario.json: the memoized Bulyan kernel, the concurrent
-# scenario-matrix runner throughput, and the blocked/incremental
-# distance-matrix kernels.
-TRACKED_BENCHES ?= BenchmarkBulyanMemoized|BenchmarkScenarioMatrixRunner|BenchmarkDistanceMatrix|BenchmarkDistanceMatrixIncremental
+# scenario-matrix runner throughput, the blocked/incremental
+# distance-matrix kernels, and the result store's warm-vs-cold grid
+# economics.
+TRACKED_BENCHES ?= BenchmarkBulyanMemoized|BenchmarkScenarioMatrixRunner|BenchmarkDistanceMatrix|BenchmarkDistanceMatrixIncremental|BenchmarkRunnerWithStore
 
 # Per-target budget for the fuzz smoke pass (CI keeps it short; crank
 # it up locally for a real hunt).
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race fuzz-smoke bench bench-all
+.PHONY: check check-docs fmt vet build test race fuzz-smoke bench bench-all
 
-# check is the CI gate: formatting, static analysis, build, and the
+# check is the CI gate: formatting, static analysis, build, the
 # race-detector pass over the full tree (race runs every test, so a
 # separate plain `test` pass would only repeat it; CI runs the two as
-# parallel jobs instead).
-check: fmt vet build race
+# parallel jobs instead), and the doc drift guard.
+check: fmt vet build race check-docs
+
+# check-docs is the documentation drift guard: every registry built-in
+# must be named in README/EXPERIMENTS/ARCHITECTURE and still
+# round-trip via its parser, and every exported identifier in the
+# newest packages (scenario/store, cmd/krum-scenariod) must carry a
+# doc comment. Blocking in CI — docs rot is a build failure here.
+check-docs:
+	$(GO) test -run 'TestDocs' .
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -20,6 +20,7 @@ import (
 	"krum/internal/harness"
 	"krum/internal/vec"
 	"krum/scenario"
+	"krum/scenario/store"
 )
 
 // benchSeed keeps bench results stable across runs.
@@ -326,6 +327,66 @@ func BenchmarkScenarioMatrixRunner(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkRunnerWithStore measures the content-addressed result
+// store's warm-vs-cold economics on the BenchmarkScenarioMatrixRunner
+// grid (tracked by `make bench`): "cold" runs the matrix into a fresh
+// in-memory store every iteration (training + write-through), "warm"
+// re-runs it against a pre-populated store, where every cell is a hit
+// and no training or distance-matrix work happens. The cold/warm ratio
+// is the speedup a repeated grid enjoys; warm ns/op is the pure
+// store-serving overhead (hashing + decode).
+func BenchmarkRunnerWithStore(b *testing.B) {
+	m := scenario.Matrix{
+		Base: scenario.Spec{
+			Workload:  "gmm(k=3,dim=6,radius=4,sigma=0.5)",
+			Rule:      "krum",
+			Schedule:  "inverset(gamma=0.5,power=0.75,t0=50)",
+			N:         9,
+			F:         2,
+			Rounds:    20,
+			BatchSize: 8,
+			Seed:      benchSeed,
+		},
+		Rules:   []string{"krum", "average", "multikrum(m=5)"},
+		Attacks: []string{"none", "gaussian(sigma=200)"},
+		Seeds:   []uint64{1, 2},
+	}
+	cells := m.Size()
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := store.NewMemory()
+			if _, err := (&scenario.Runner{Store: st}).Run(m); err != nil {
+				b.Fatal(err)
+			}
+			if got := st.Stats().Saves; got != cells {
+				b.Fatalf("cold run saved %d cells, want %d", got, cells)
+			}
+		}
+		b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/s")
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		st := store.NewMemory()
+		if _, err := (&scenario.Runner{Store: st}).Run(m); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			results, err := (&scenario.Runner{Store: st}).Run(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range results {
+				if !results[j].Cached {
+					b.Fatalf("cell %d missed the warm store", j)
+				}
+			}
+		}
+		b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/s")
+	})
 }
 
 // BenchmarkResilienceVerifier measures the Definition 3.2 Monte-Carlo

@@ -15,9 +15,16 @@
 //	krum-experiments -config examples/matrix.json
 //
 // Config schema: {"experiments": ["table1"], "scale": "quick",
-// "seed": 42, "workers": 4, "matrix": {...}} — the matrix object is a
-// scenario.Matrix; run with -list to see every registered rule,
-// attack, schedule and workload spec.
+// "seed": 42, "workers": 4, "store": "cells.jsonl", "matrix": {...}} —
+// the matrix object is a scenario.Matrix; run with -list to see every
+// registered rule, attack, schedule and workload spec.
+//
+// With -store (or the "store" config key) every scenario cell — the
+// figure-experiment grids and config matrices — is checked against a
+// content-addressed persistent result store before running and written
+// through after (see scenario/store): re-running an experiment with a
+// warm store replays its cells as cache hits, so overlapping grids
+// (e.g. -exp all after -exp fig4) only pay for uncovered cells.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"krum/internal/harness"
 	"krum/internal/metrics"
 	"krum/scenario"
+	"krum/scenario/store"
 	"krum/workload"
 )
 
@@ -82,6 +90,9 @@ type fileConfig struct {
 	Seed *uint64 `json:"seed,omitempty"`
 	// Workers bounds matrix-cell concurrency (0 = NumCPU).
 	Workers int `json:"workers,omitempty"`
+	// Store is an optional result-store JSONL path (same as -store; the
+	// flag wins when both are given).
+	Store string `json:"store,omitempty"`
 	// Matrix is an optional free-form scenario grid.
 	Matrix *scenario.Matrix `json:"matrix,omitempty"`
 }
@@ -97,6 +108,7 @@ func run() int {
 	seedFlag := flag.Uint64("seed", 42, "master random seed")
 	listFlag := flag.Bool("list", false, "list experiments and registry specs, then exit")
 	configFlag := flag.String("config", "", "JSON scenario config (experiments + matrix; see EXPERIMENTS.md); overrides -exp/-scale/-seed")
+	storeFlag := flag.String("store", "", "result-store JSONL path: scenario cells (figure grids, config matrices) are served from it when present and written through when computed")
 	flag.Parse()
 
 	exps := experiments()
@@ -116,8 +128,14 @@ func run() int {
 	}
 
 	if *configFlag != "" {
-		return runConfig(*configFlag, exps)
+		return runConfig(*configFlag, *storeFlag, exps)
 	}
+
+	st, code := openStore(*storeFlag)
+	if code != 0 {
+		return code
+	}
+	defer closeStore(st)
 
 	scale, ok := parseScale(*scaleFlag)
 	if !ok {
@@ -143,10 +161,38 @@ func run() int {
 	return 0
 }
 
+// openStore opens the optional result store and routes harness
+// scenario runs through it; an empty path is a no-op. The non-zero
+// return code reports a failure to the caller.
+func openStore(path string) (*store.Store, int) {
+	if path == "" {
+		return nil, 0
+	}
+	st, err := store.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "store: %v\n", err)
+		return nil, 2
+	}
+	harness.SetStore(st)
+	return st, 0
+}
+
+// closeStore prints the session's cache economics and releases the
+// store (no-op when no store is configured).
+func closeStore(st *store.Store) {
+	if st == nil {
+		return
+	}
+	fmt.Printf("\nresult store %s: %s\n", st.Path(), st.Stats())
+	harness.SetStore(nil)
+	st.Close()
+}
+
 // runConfig executes a JSON scenario config: named experiments first
 // (identical code path to the flags), then the optional matrix on the
-// concurrent runner.
-func runConfig(path string, exps []experiment) int {
+// concurrent runner. storePath (the -store flag) overrides the
+// config's "store" key.
+func runConfig(path, storePath string, exps []experiment) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "config: %v\n", err)
@@ -172,6 +218,14 @@ func runConfig(path string, exps []experiment) int {
 	if cfg.Seed != nil {
 		seed = *cfg.Seed
 	}
+	if storePath == "" {
+		storePath = cfg.Store
+	}
+	st, code := openStore(storePath)
+	if code != 0 {
+		return code
+	}
+	defer closeStore(st)
 
 	for _, name := range cfg.Experiments {
 		found := false
@@ -192,7 +246,7 @@ func runConfig(path string, exps []experiment) int {
 	}
 
 	if cfg.Matrix != nil {
-		if code := runMatrix(*cfg.Matrix, cfg.Workers); code != 0 {
+		if code := runMatrix(*cfg.Matrix, cfg.Workers, st); code != 0 {
 			return code
 		}
 	}
@@ -204,8 +258,10 @@ func runConfig(path string, exps []experiment) int {
 }
 
 // runMatrix validates and executes a scenario matrix, streaming per-cell
-// progress and rendering a deterministic summary table.
-func runMatrix(m scenario.Matrix, workers int) int {
+// progress and rendering a deterministic summary table. When st is
+// non-nil, cells already in the store are served from it (marked
+// "cached" in the stream) and fresh cells are written through.
+func runMatrix(m scenario.Matrix, workers int, st *store.Store) int {
 	if err := m.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "matrix: %v\n", err)
 		return 2
@@ -227,9 +283,15 @@ func runMatrix(m scenario.Matrix, workers int) int {
 				default:
 					status = fmt.Sprintf("acc %.4f", cr.Result.FinalTestAccuracy)
 				}
+				if cr.Cached {
+					status += " (cached)"
+				}
 			}
 			fmt.Printf("[%d/%d] %s — %s\n", done, total, cr.Spec.Label(), status)
 		},
+	}
+	if st != nil {
+		runner.Store = st
 	}
 	results, err := runner.Run(m)
 	if err != nil {

@@ -1,0 +1,106 @@
+// Command krum-scenariod is a long-running HTTP service that executes
+// scenario matrices (see EXPERIMENTS.md and ARCHITECTURE.md at the
+// repository root): clients POST JSON matrix definitions — the same
+// schema krum-experiments -config accepts under "matrix" — and the
+// service fans their cells out across one shared bounded worker pool,
+// backed by a shared content-addressed result store.
+//
+//	krum-scenariod -addr :8080 -workers 8 -store cells.jsonl
+//
+// Endpoints:
+//
+//	POST /matrices               submit a scenario.Matrix (JSON); returns {id, cells, ...urls}
+//	GET  /matrices               status of every submitted matrix
+//	GET  /matrices/{id}          progress: {total, completed, cached, failed, finished, aborted}
+//	GET  /matrices/{id}/results  positional results array (null for pending cells)
+//	GET  /matrices/{id}/stream   NDJSON of cells in completion order, live until finished
+//	DELETE /matrices/{id}        evict a finished/aborted matrix from memory (store keeps its cells)
+//	GET  /store                  result-store counters (hits, misses, entries, ...)
+//	GET  /healthz                liveness probe
+//
+// Concurrent matrices share the pool: total in-flight cells never
+// exceed -workers, however many matrices are running. Results are
+// deterministic per cell regardless of the interleaving (cells are
+// explicitly seeded pure functions of their spec), so two clients
+// racing the same grid get identical numbers.
+//
+// Shutdown (SIGINT/SIGTERM) is graceful mid-matrix: in-flight cells
+// finish and persist to the store, unstarted cells never run, and the
+// affected matrices report "aborted". Because every completed cell is
+// in the store, resume is simply resubmitting the same matrix after
+// restart — the completed prefix replays as cache hits and only the
+// remainder computes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"krum/scenario"
+	"krum/scenario/store"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// run is the testable body of main (exit-once rule).
+func run() int {
+	addrFlag := flag.String("addr", ":8080", "listen address")
+	workersFlag := flag.Int("workers", 0, "shared worker-pool size across all matrices (0 = NumCPU)")
+	storeFlag := flag.String("store", "", "content-addressed result store JSONL path (empty = in-memory only)")
+	flag.Parse()
+
+	var st scenario.ResultStore
+	if *storeFlag != "" {
+		fileStore, err := store.Open(*storeFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "store: %v\n", err)
+			return 2
+		}
+		defer fileStore.Close()
+		stats := fileStore.Stats()
+		fmt.Printf("store %s: %s\n", *storeFlag, stats)
+		st = fileStore
+	} else {
+		st = store.NewMemory()
+		fmt.Println("store: in-memory (pass -store to persist results across restarts)")
+	}
+
+	srv := NewServer(*workersFlag, st)
+	httpSrv := &http.Server{Addr: *addrFlag, Handler: srv}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("krum-scenariod listening on %s\n", *addrFlag)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Println("shutting down: waiting for in-flight cells to finish and persist...")
+	srv.Stop() // stop scheduling, drain in-flight cells into the store
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelShutdown()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		return 1
+	}
+	fmt.Println("bye (interrupted matrices resume by resubmission — the store holds their completed cells)")
+	return 0
+}

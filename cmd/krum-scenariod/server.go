@@ -1,0 +1,564 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"krum/distsgd"
+	"krum/scenario"
+	"krum/scenario/store"
+)
+
+// Server is the multi-matrix scenario service: it accepts JSON matrix
+// submissions over HTTP, fans their cells out across ONE shared
+// bounded worker pool (so concurrent matrices share compute fairly
+// instead of each spawning its own), serves per-matrix progress and
+// streaming results, and consults a shared scenario.ResultStore before
+// every cell. Because cells are pure functions of their spec and every
+// computed cell is written through to the store, a service restart
+// loses no work: resubmitting an interrupted matrix replays its
+// completed prefix as store hits and only computes the remainder.
+//
+// Completed matrices stay in memory (results included) until a client
+// deletes them (DELETE /matrices/{id}); consumers of many grids should
+// delete what they have read — the persisted cells remain in the
+// store either way.
+type Server struct {
+	store scenario.ResultStore
+	// sem is the shared pool: one slot per concurrently-running cell,
+	// across ALL matrices.
+	sem chan struct{}
+	// ctx is cancelled by Stop; cells never start after cancellation.
+	ctx    context.Context
+	cancel context.CancelFunc
+	// wg tracks in-flight matrix executors (not individual cells).
+	wg  sync.WaitGroup
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	matrices map[string]*matrixRun
+	seq      int
+	// stopped flips under mu before ctx is cancelled, so handleSubmit
+	// can refuse new work without racing wg.Add against Stop's
+	// wg.Wait.
+	stopped bool
+}
+
+// matrixRun is the execution state of one submitted matrix.
+type matrixRun struct {
+	id    string
+	cells []scenario.Spec
+
+	mu sync.Mutex
+	// results is indexed by cell position (results[i] answers cells[i]);
+	// entries are nil until their cell completes — the same positional
+	// guarantee scenario.Runner.RunCells documents.
+	results []*scenario.CellResult
+	// order lists completed cell indices in completion order, which is
+	// what the streaming endpoint replays.
+	order     []int
+	cached    int
+	failed    int
+	storeErrs int
+	// finished and aborted are mutually exclusive terminal states:
+	// finished means every cell completed; aborted means shutdown cut
+	// the matrix short after its completed cells persisted. Exactly one
+	// of them is eventually set.
+	finished bool
+	aborted  bool
+}
+
+// NewServer builds a Server with the given shared pool width (0 means
+// runtime.NumCPU()) and result store (use store.NewMemory() for a
+// non-persistent service).
+func NewServer(workers int, st scenario.ResultStore) *Server {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		store:    st,
+		sem:      make(chan struct{}, workers),
+		ctx:      ctx,
+		cancel:   cancel,
+		mux:      http.NewServeMux(),
+		matrices: make(map[string]*matrixRun),
+	}
+	s.mux.HandleFunc("POST /matrices", s.handleSubmit)
+	s.mux.HandleFunc("GET /matrices", s.handleList)
+	s.mux.HandleFunc("GET /matrices/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /matrices/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /matrices/{id}/results", s.handleResults)
+	s.mux.HandleFunc("GET /matrices/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /store", s.handleStore)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Stop refuses further submissions, cancels cell scheduling, and
+// waits for in-flight cells to finish and persist. Cells that never
+// started simply never run — their matrices report aborted, and
+// resubmitting them after a restart replays the completed prefix from
+// the store.
+func (s *Server) Stop() {
+	// Flip stopped under the same lock handleSubmit takes before its
+	// wg.Add: after this critical section no new executor can register,
+	// so wg.Wait cannot race an Add from a submission in flight.
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+}
+
+// maxCells bounds one submission's cartesian expansion — large enough
+// for any grid the pool could plausibly chew through, small enough
+// that the expanded spec slice cannot threaten the process.
+const maxCells = 100_000
+
+// tooManyCells reports whether the matrix would expand past maxCells,
+// without expanding it (overflow-safe: the running product exits as
+// soon as it crosses the cap).
+func tooManyCells(m scenario.Matrix) bool {
+	size := 1
+	for _, axis := range []int{
+		len(m.Workloads), len(m.Rules), len(m.Attacks), len(m.Fs), len(m.Seeds),
+	} {
+		if axis > 0 {
+			size *= axis
+		}
+		if size > maxCells {
+			return true
+		}
+	}
+	return false
+}
+
+// submitResponse is the POST /matrices reply.
+type submitResponse struct {
+	// ID names the accepted matrix in every other endpoint.
+	ID string `json:"id"`
+	// Cells is the expanded grid size.
+	Cells int `json:"cells"`
+	// StatusURL and ResultsURL and StreamURL are the matrix's
+	// endpoints, spelled out so clients need no URL templating.
+	StatusURL  string `json:"status_url"`
+	ResultsURL string `json:"results_url"`
+	StreamURL  string `json:"stream_url"`
+}
+
+// statusJSON is the GET /matrices/{id} reply (and the per-matrix entry
+// of GET /matrices).
+type statusJSON struct {
+	// ID is the matrix id.
+	ID string `json:"id"`
+	// Total is the number of cells in the matrix.
+	Total int `json:"total"`
+	// Completed counts finished cells (cached + computed + failed).
+	Completed int `json:"completed"`
+	// Cached counts cells served from the result store.
+	Cached int `json:"cached"`
+	// Failed counts cells that returned an error.
+	Failed int `json:"failed"`
+	// StoreErrors counts cells whose result computed fine but failed to
+	// persist to the shared store (CellResult.StoreErr). Non-zero means
+	// the resume-by-resubmission guarantee is compromised for those
+	// cells — they will recompute after a restart.
+	StoreErrors int `json:"store_errors"`
+	// Finished reports that every cell completed.
+	Finished bool `json:"finished"`
+	// Aborted reports the matrix was cut short by shutdown; resubmit it
+	// to resume (completed cells replay from the store).
+	Aborted bool `json:"aborted"`
+}
+
+// cellJSON is the wire form of one completed cell, used by both the
+// results and stream endpoints.
+type cellJSON struct {
+	// Index is the cell's position in the matrix expansion order.
+	Index int `json:"index"`
+	// Spec is the cell that ran.
+	Spec scenario.Spec `json:"spec"`
+	// Cached reports a store hit.
+	Cached bool `json:"cached,omitempty"`
+	// Error is the cell's failure, if any.
+	Error string `json:"error,omitempty"`
+	// StoreError is a failed write-through to the result store; the
+	// Result is still the valid computed outcome, only its persistence
+	// failed.
+	StoreError string `json:"store_error,omitempty"`
+	// Result is the training outcome (absent when Error is set),
+	// encoded with distsgd.Result's stable JSON encoding.
+	Result *distsgd.Result `json:"result,omitempty"`
+}
+
+// resultsJSON is the GET /matrices/{id}/results reply: the status plus
+// the positional results array (null entries for cells still pending).
+type resultsJSON struct {
+	statusJSON
+	// Results is indexed by cell position; entry i is null until cell i
+	// completes, so partial reads are unambiguous.
+	Results []*cellJSON `json:"results"`
+}
+
+// handleSubmit validates and enqueues a matrix.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
+		return
+	}
+	m, err := scenario.ParseMatrixJSON(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Bound the grid BEFORE expanding it: a few KB of JSON can declare
+	// a cartesian product of billions of cells, and materializing it
+	// would take the whole service down. The product is computed with
+	// early exit, so oversized (even int-overflowing) axis combinations
+	// are rejected without allocating anything.
+	if tooManyCells(m) {
+		http.Error(w, fmt.Sprintf("matrix expands to more than %d cells", maxCells), http.StatusBadRequest)
+		return
+	}
+	// Expand once and validate the cells directly (Matrix.Validate
+	// would expand a second time).
+	cells := m.Cells()
+	if len(cells) == 0 {
+		http.Error(w, "empty matrix", http.StatusBadRequest)
+		return
+	}
+	for i, cell := range cells {
+		if err := cell.Validate(); err != nil {
+			http.Error(w, fmt.Sprintf("cell %d (%s): %v", i, cell.Label(), err), http.StatusBadRequest)
+			return
+		}
+	}
+
+	// Registration and wg.Add happen in one critical section with the
+	// stopped check: once Stop has flipped the flag, no executor can
+	// slip in behind its wg.Wait.
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		http.Error(w, "server is shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	s.seq++
+	run := &matrixRun{
+		id:      fmt.Sprintf("m%d", s.seq),
+		cells:   cells,
+		results: make([]*scenario.CellResult, len(cells)),
+	}
+	s.matrices[run.id] = run
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.execute(run)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, submitResponse{
+		ID:         run.id,
+		Cells:      len(cells),
+		StatusURL:  "/matrices/" + run.id,
+		ResultsURL: "/matrices/" + run.id + "/results",
+		StreamURL:  "/matrices/" + run.id + "/stream",
+	})
+}
+
+// execute fans one matrix's cells into the shared pool and marks the
+// run finished (or aborted) when they drain.
+func (s *Server) execute(run *matrixRun) {
+	defer s.wg.Done()
+	var cellWG sync.WaitGroup
+	aborted := false
+loop:
+	for i := range run.cells {
+		// Non-blocking cancellation check first: when both a pool slot
+		// and cancellation are available, the select below picks at
+		// random, which would let new cells start after Stop.
+		if s.ctx.Err() != nil {
+			aborted = true
+			break loop
+		}
+		select {
+		case <-s.ctx.Done():
+			aborted = true
+			break loop
+		case s.sem <- struct{}{}:
+		}
+		cellWG.Add(1)
+		go func(i int) {
+			defer func() {
+				<-s.sem
+				cellWG.Done()
+			}()
+			cr := scenario.RunCell(s.store, i, run.cells[i])
+			run.record(cr)
+		}(i)
+	}
+	// The terminal flag is only set AFTER the in-flight cells drain:
+	// until then the matrix is still executing — streams must keep
+	// delivering late completions and DELETE must keep refusing.
+	cellWG.Wait()
+	run.finish(aborted)
+}
+
+// record stores one completed cell.
+func (r *matrixRun) record(cr scenario.CellResult) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := cr
+	r.results[cr.Index] = &c
+	r.order = append(r.order, cr.Index)
+	if cr.Cached {
+		r.cached++
+	}
+	if cr.Err != nil {
+		r.failed++
+	}
+	if cr.StoreErr != nil {
+		r.storeErrs++
+	}
+}
+
+// finish marks the run terminal once every scheduled cell has drained:
+// aborted when shutdown cut the grid short, finished (strictly "every
+// cell completed") otherwise. The two flags stay mutually exclusive,
+// so clients may key on either alone.
+func (r *matrixRun) finish(aborted bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if aborted {
+		r.aborted = true
+	} else {
+		r.finished = true
+	}
+}
+
+// terminal reports that no further cells will complete. Callers hold
+// r.mu.
+func (r *matrixRun) terminal() bool { return r.finished || r.aborted }
+
+// status snapshots the run's progress.
+func (r *matrixRun) status() statusJSON {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.statusLocked()
+}
+
+// statusLocked builds the progress snapshot; callers hold r.mu. It
+// exists so handleResults can take the status and the results array
+// under ONE critical section — a finished:true header must never
+// accompany a results array with pending nulls.
+func (r *matrixRun) statusLocked() statusJSON {
+	return statusJSON{
+		ID:          r.id,
+		Total:       len(r.cells),
+		Completed:   len(r.order),
+		Cached:      r.cached,
+		Failed:      r.failed,
+		StoreErrors: r.storeErrs,
+		Finished:    r.finished,
+		Aborted:     r.aborted,
+	}
+}
+
+// cellWire converts a completed cell to its wire form.
+func cellWire(cr *scenario.CellResult) *cellJSON {
+	if cr == nil {
+		return nil
+	}
+	c := &cellJSON{Index: cr.Index, Spec: cr.Spec, Cached: cr.Cached, Result: cr.Result}
+	if cr.Err != nil {
+		c.Error = cr.Err.Error()
+	}
+	if cr.StoreErr != nil {
+		c.StoreError = cr.StoreErr.Error()
+	}
+	return c
+}
+
+// lookup resolves a matrix id from the request path.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *matrixRun {
+	s.mu.Lock()
+	run, ok := s.matrices[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown matrix id", http.StatusNotFound)
+		return nil
+	}
+	return run
+}
+
+// handleList reports every submitted matrix's status.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	runs := make([]*matrixRun, 0, len(s.matrices))
+	for _, run := range s.matrices {
+		runs = append(runs, run)
+	}
+	s.mu.Unlock()
+	out := make([]statusJSON, 0, len(runs))
+	for _, run := range runs {
+		out = append(out, run.status())
+	}
+	// Deterministic order: ids are m1, m2, ..., so length-then-lex is
+	// numeric order.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ID, out[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, out)
+}
+
+// handleStatus reports one matrix's progress.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	run := s.lookup(w, r)
+	if run == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, run.status())
+}
+
+// handleDelete evicts a terminal matrix's in-memory results (the store
+// keeps the persisted cells). Matrices are retained in memory until
+// deleted, so long-running deployments should delete grids they have
+// consumed; a matrix still executing cannot be deleted.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	run := s.lookup(w, r)
+	if run == nil {
+		return
+	}
+	run.mu.Lock()
+	done := run.terminal()
+	run.mu.Unlock()
+	if !done {
+		http.Error(w, "matrix is still executing; delete it once finished or aborted", http.StatusConflict)
+		return
+	}
+	s.mu.Lock()
+	delete(s.matrices, run.id)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleResults returns the positional results array (nulls for
+// pending cells) plus the progress header.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	run := s.lookup(w, r)
+	if run == nil {
+		return
+	}
+	run.mu.Lock()
+	out := resultsJSON{Results: make([]*cellJSON, len(run.results))}
+	for i, cr := range run.results {
+		out.Results[i] = cellWire(cr)
+	}
+	out.statusJSON = run.statusLocked()
+	run.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, out)
+}
+
+// handleStream writes completed cells as NDJSON in completion order,
+// flushing each line as it happens, and returns when the matrix
+// finishes (or the client goes away). A client that connects late
+// first replays everything already completed.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	run := s.lookup(w, r)
+	if run == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	cursor := 0
+	ticker := time.NewTicker(25 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		run.mu.Lock()
+		pending := run.order[cursor:]
+		batch := make([]*cellJSON, len(pending))
+		for i, idx := range pending {
+			batch[i] = cellWire(run.results[idx])
+		}
+		cursor += len(pending)
+		done := run.terminal()
+		run.mu.Unlock()
+
+		for _, c := range batch {
+			if err := enc.Encode(c); err != nil {
+				return
+			}
+		}
+		if len(batch) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// storeStatser is the optional stats surface of the configured store
+// (satisfied by *store.Store).
+type storeStatser interface {
+	Stats() store.Stats
+}
+
+// handleStore reports the shared store's counters when the store
+// exposes them.
+func (s *Server) handleStore(w http.ResponseWriter, _ *http.Request) {
+	st, ok := s.store.(storeStatser)
+	if !ok {
+		http.Error(w, "store exposes no stats", http.StatusNotFound)
+		return
+	}
+	stats := st.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]int{
+		"entries":            stats.Entries,
+		"hits":               stats.Hits,
+		"misses":             stats.Misses,
+		"saves":              stats.Saves,
+		"skipped_records":    stats.SkippedRecords,
+		"dropped_tail_bytes": stats.DroppedTailBytes,
+	})
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// writeJSON encodes v, ignoring write errors (the client went away).
+func writeJSON(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

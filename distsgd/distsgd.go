@@ -135,7 +135,8 @@ type Config struct {
 	// bit-identical with or without the flag — reused cells equal what
 	// a rebuild would recompute — so this is purely a time/space trade:
 	// the cache retains O(n·d + n²) memory and pays an O(n·d) diff per
-	// round, which only pays off when some workers replay proposals
+	// distance-consuming round (the diff runs lazily, when a rule first
+	// asks for the matrix), which only pays off when some workers replay proposals
 	// (crashed/stalled workers, replay attacks, frozen shards). The
 	// cache is bypassed (full rebuild) on the first round, on a shape
 	// change, and when every proposal changed.
@@ -282,8 +283,8 @@ func Run(cfg Config) (*Result, error) {
 	// tracking and aggregation share a single distance matrix; the
 	// proposal slice and the pooled update buffer are reused across all
 	// rounds (every rule fully overwrites dst). With Incremental set
-	// the engine additionally carries the matrix across rounds and the
-	// loop passes each round's change-set through the context.
+	// the engine additionally carries the matrix across rounds,
+	// diffing each round's proposals lazily on first use.
 	engine := core.NewEngine(cfg.Parallel)
 	if cfg.Incremental {
 		engine.EnableCache()
@@ -322,14 +323,15 @@ func Run(cfg Config) (*Result, error) {
 
 		stats := RoundStats{Round: t, TrainLoss: trainLoss, LearningRate: opt.CurrentRate()}
 
+		// With Incremental set, the engine's RoundCache diffs the
+		// proposals against the previous round lazily, on the first
+		// Distances() request: workers whose proposals replayed
+		// verbatim (crashed, stalled, frozen) cost no distance
+		// recomputation, and rules that never consult distances (e.g.
+		// average) never pay the O(n·d) diff at all. Callers with
+		// external knowledge of the change-set can still declare it
+		// via RoundContext.SetChanged.
 		round := engine.Round(proposals)
-		if cache := engine.Cache(); cache != nil {
-			// The honest change-set: proposals that differ bitwise from
-			// the cached previous round. Workers whose proposals
-			// replayed verbatim (crashed, stalled, frozen) cost no
-			// distance recomputation this round.
-			round.SetChanged(cache.Changed(proposals))
-		}
 		if cfg.TrackSelection {
 			if sel, ok := cfg.Rule.(core.Selector); ok {
 				indices, err := core.SelectContext(sel, round)

@@ -1,0 +1,209 @@
+// Stable JSON serialization for Result and RoundStats — the wire and
+// at-rest format used by the scenario result store (scenario/store)
+// and the krum-scenariod service.
+//
+// The encoding is designed around two constraints plain encoding/json
+// cannot meet:
+//
+//  1. Training outcomes legitimately contain non-finite floats —
+//     FinalTestAccuracy/FinalTestLoss use a NaN sentinel for "never
+//     evaluated", and diverged runs (the EXPECTED outcome for linear
+//     rules under attack, Lemma 3.1) carry NaN/±Inf in FinalParams and
+//     the round statistics. JSON has no literal for those, so every
+//     float field encodes through jsonFloat (non-finite values become
+//     the quoted strings "NaN", "+Inf", "-Inf") and FinalParams is
+//     encoded as base64 of its raw little-endian IEEE-754 bits.
+//  2. The result store promises cache hits byte-identical to a cold
+//     run, so the encoding must round-trip exactly: finite floats use
+//     Go's shortest-round-trip formatting, and FinalParams' bit-level
+//     encoding preserves even NaN payloads and signed zeros. For any
+//     Result r, Marshal(Unmarshal(Marshal(r))) == Marshal(r).
+//
+// The field set is part of the store's compatibility surface: any
+// change to it (or to the semantics of a field) must be accompanied by
+// a bump of store.Version so stale entries are recomputed, never
+// served.
+package distsgd
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// jsonFloat is a float64 that survives JSON: finite values marshal as
+// ordinary numbers (shortest representation that round-trips exactly),
+// NaN and the infinities marshal as the quoted strings "NaN", "+Inf"
+// and "-Inf".
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*f = jsonFloat(math.NaN())
+		case "+Inf":
+			*f = jsonFloat(math.Inf(1))
+		case "-Inf":
+			*f = jsonFloat(math.Inf(-1))
+		default:
+			return fmt.Errorf("non-finite float string %q (want \"NaN\", \"+Inf\" or \"-Inf\")", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// roundStatsJSON mirrors RoundStats with JSON-safe floats.
+type roundStatsJSON struct {
+	Round           int       `json:"round"`
+	TrainLoss       jsonFloat `json:"train_loss"`
+	UpdateNorm      jsonFloat `json:"update_norm"`
+	LearningRate    jsonFloat `json:"learning_rate"`
+	ByzantineChosen bool      `json:"byzantine_chosen,omitempty"`
+	Evaluated       bool      `json:"evaluated,omitempty"`
+	TestAccuracy    jsonFloat `json:"test_accuracy"`
+	TestLoss        jsonFloat `json:"test_loss"`
+}
+
+// MarshalJSON implements json.Marshaler; see the file comment for the
+// format contract.
+func (s RoundStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(roundStatsJSON{
+		Round:           s.Round,
+		TrainLoss:       jsonFloat(s.TrainLoss),
+		UpdateNorm:      jsonFloat(s.UpdateNorm),
+		LearningRate:    jsonFloat(s.LearningRate),
+		ByzantineChosen: s.ByzantineChosen,
+		Evaluated:       s.Evaluated,
+		TestAccuracy:    jsonFloat(s.TestAccuracy),
+		TestLoss:        jsonFloat(s.TestLoss),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *RoundStats) UnmarshalJSON(b []byte) error {
+	var m roundStatsJSON
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	*s = RoundStats{
+		Round:           m.Round,
+		TrainLoss:       float64(m.TrainLoss),
+		UpdateNorm:      float64(m.UpdateNorm),
+		LearningRate:    float64(m.LearningRate),
+		ByzantineChosen: m.ByzantineChosen,
+		Evaluated:       m.Evaluated,
+		TestAccuracy:    float64(m.TestAccuracy),
+		TestLoss:        float64(m.TestLoss),
+	}
+	return nil
+}
+
+// resultJSON mirrors Result. FinalParams travels as base64-encoded raw
+// little-endian float64 bits so that diverged parameter vectors
+// (containing NaN/±Inf) and exact bit patterns survive the trip.
+type resultJSON struct {
+	History                 []RoundStats `json:"history"`
+	FinalParamsB64          string       `json:"final_params_b64"`
+	Diverged                bool         `json:"diverged,omitempty"`
+	DivergedRound           int          `json:"diverged_round,omitempty"`
+	ByzantineSelectedRounds int          `json:"byzantine_selected_rounds,omitempty"`
+	SelectionTrackedRounds  int          `json:"selection_tracked_rounds,omitempty"`
+	FinalTestAccuracy       jsonFloat    `json:"final_test_accuracy"`
+	FinalTestLoss           jsonFloat    `json:"final_test_loss"`
+}
+
+// MarshalJSON implements json.Marshaler; see the file comment for the
+// format contract (bit-exact round-trip, non-finite floats as quoted
+// strings, FinalParams as base64 of raw IEEE-754 bits).
+func (r Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resultJSON{
+		History:                 r.History,
+		FinalParamsB64:          encodeFloats(r.FinalParams),
+		Diverged:                r.Diverged,
+		DivergedRound:           r.DivergedRound,
+		ByzantineSelectedRounds: r.ByzantineSelectedRounds,
+		SelectionTrackedRounds:  r.SelectionTrackedRounds,
+		FinalTestAccuracy:       jsonFloat(r.FinalTestAccuracy),
+		FinalTestLoss:           jsonFloat(r.FinalTestLoss),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Result) UnmarshalJSON(b []byte) error {
+	var m resultJSON
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	params, err := decodeFloats(m.FinalParamsB64)
+	if err != nil {
+		return fmt.Errorf("final_params_b64: %w", err)
+	}
+	*r = Result{
+		History:                 m.History,
+		FinalParams:             params,
+		Diverged:                m.Diverged,
+		DivergedRound:           m.DivergedRound,
+		ByzantineSelectedRounds: m.ByzantineSelectedRounds,
+		SelectionTrackedRounds:  m.SelectionTrackedRounds,
+		FinalTestAccuracy:       float64(m.FinalTestAccuracy),
+		FinalTestLoss:           float64(m.FinalTestLoss),
+	}
+	return nil
+}
+
+// encodeFloats packs a float64 slice as base64(little-endian IEEE-754
+// bits) — bit-exact, NaN payloads and signed zeros included.
+func encodeFloats(v []float64) string {
+	buf := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(f))
+	}
+	return base64.StdEncoding.EncodeToString(buf)
+}
+
+// decodeFloats reverses encodeFloats. An empty string decodes to nil.
+func decodeFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	buf, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("encoded length %d is not a multiple of 8", len(buf))
+	}
+	v := make([]float64, len(buf)/8)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return v, nil
+}

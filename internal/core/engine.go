@@ -176,9 +176,11 @@ func (rc *RoundCache) Stats() CacheStats {
 // Changed returns the indices of vectors that differ from the cache's
 // stored copies — the honest change-set a round loop passes to
 // RoundContext.SetChanged. With no cached matrix (or a shape change)
-// every index is returned. The comparison is exact (bitwise), so a
-// proposal that merely wiggles in the last ulp still counts as
-// changed: correctness never depends on a tolerance.
+// every index is returned. The comparison is exact IEEE equality
+// (vec.DistanceMatrix.VectorEqual): a proposal that merely wiggles in
+// the last ulp still counts as changed — correctness never depends on
+// a tolerance — and NaN ≠ NaN, so a non-finite proposal always counts
+// as changed rather than ever being served from the cache.
 func (rc *RoundCache) Changed(vectors [][]float64) []int {
 	n := len(vectors)
 	if !rc.reusable(vectors) {

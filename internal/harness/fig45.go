@@ -76,7 +76,7 @@ func RunAttackFigure(w io.Writer, scale Scale, seed uint64, attackSpec, figName 
 	clean := scenario.Matrix{Base: base, Rules: ruleSpecs, Fs: []int{0}}
 	byz := scenario.Matrix{Base: base, Rules: ruleSpecs, Attacks: []string{attackSpec}, Fs: []int{f}}
 	cells := append(clean.Cells(), byz.Cells()...)
-	results, err := (&scenario.Runner{}).RunCells(cells)
+	results, err := newRunner().RunCells(cells)
 	if err != nil {
 		return nil, err
 	}

@@ -66,7 +66,7 @@ func RunFig6(w io.Writer, scale Scale, seed uint64) (*Fig6Result, error) {
 	clean := scenario.Matrix{Base: base, Rules: ruleSpecs, Fs: []int{0}}
 	byz := scenario.Matrix{Base: base, Rules: ruleSpecs, Attacks: []string{"gaussian(sigma=200)"}, Fs: []int{f}}
 	cells := append(clean.Cells(), byz.Cells()...)
-	results, err := (&scenario.Runner{}).RunCells(cells)
+	results, err := newRunner().RunCells(cells)
 	if err != nil {
 		return nil, err
 	}

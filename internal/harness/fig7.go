@@ -67,7 +67,7 @@ func RunFig7(w io.Writer, scale Scale, seed uint64) (*Fig7Result, error) {
 		cell.Attack = "gaussian(sigma=200)"
 		cells = append(cells, cell)
 	}
-	results, err := (&scenario.Runner{}).RunCells(cells)
+	results, err := newRunner().RunCells(cells)
 	if err != nil {
 		return nil, err
 	}

@@ -19,11 +19,32 @@ import (
 	"math"
 
 	"krum/distsgd"
+	"krum/scenario"
 	"krum/workload"
 )
 
 // ErrConfig is returned for invalid experiment configurations.
 var ErrConfig = errors.New("harness: bad configuration")
+
+// cellStore, when set, backs every scenario.Runner the harness builds
+// (see SetStore).
+var cellStore scenario.ResultStore
+
+// SetStore routes every harness experiment that executes scenario
+// cells (the figure grids) through the given result store, so repeated
+// invocations — and overlapping grids within one invocation — replay
+// completed cells instead of recomputing them. The CLI wires this to
+// krum-experiments -store. Pass nil to disable. Not safe to call
+// concurrently with running experiments; set it once at startup.
+func SetStore(st scenario.ResultStore) { cellStore = st }
+
+// newRunner builds the shared scenario runner, wired to the configured
+// store. Every harness experiment that runs cells must construct its
+// runner here — constructing scenario.Runner directly would silently
+// opt out of the store.
+func newRunner() *scenario.Runner {
+	return &scenario.Runner{Store: cellStore}
+}
 
 // Scale selects experiment size: Quick runs in seconds (CI, tests,
 // benches), Full approaches the paper's operating point (minutes).

@@ -77,8 +77,11 @@ func TestRunLemma41Shape(t *testing.T) {
 	if len(res.Points) == 0 {
 		t.Fatal("no points")
 	}
-	// The O(n²·d) model must explain the measurements well.
-	if res.R2 < 0.95 {
+	// The O(n²·d) model must explain the measurements well. Under the
+	// race detector the timing is instrumentation-dominated and the
+	// fit quality is meaningless (it flakes under load), so the
+	// threshold check is left to the plain test job.
+	if !raceDetectorEnabled && res.R2 < 0.95 {
 		t.Errorf("n²·d fit r² = %v, want ≥ 0.95", res.R2)
 	}
 	if res.NanosPerN2D <= 0 {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package harness
+
+// raceDetectorEnabled is false in ordinary test builds; see
+// race_enabled_test.go for why timing assertions consult it.
+const raceDetectorEnabled = false

@@ -1,0 +1,12 @@
+//go:build race
+
+package harness
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. Timing-based assertions (the Lemma 4.1 cost-model fit) are
+// relaxed under the race detector: its instrumentation distorts
+// per-operation wall time by an order of magnitude and non-uniformly
+// across working-set sizes, so a poor fit there says nothing about the
+// paper's claim — the plain `go test` CI job still asserts it at full
+// strength.
+const raceDetectorEnabled = true

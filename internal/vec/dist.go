@@ -300,9 +300,14 @@ func (m *DistanceMatrix) recomputeRowDual(i0, i1 int) {
 }
 
 // VectorEqual reports whether v is element-for-element identical to the
-// matrix's stored copy of vector i — the exact (bitwise ==) comparison
-// the cross-round cache uses to detect unchanged proposals. A length
-// mismatch is simply "not equal".
+// matrix's stored copy of vector i — the exact comparison the
+// cross-round cache uses to detect unchanged proposals. "Exact" is
+// IEEE ==, deliberately NOT a bit-pattern comparison: NaN ≠ NaN, so a
+// NaN-carrying proposal always counts as changed and a poisoned round
+// can never be served from the cache (TestVectorEqual pins this; in
+// practice distsgd halts a run as soon as parameters go non-finite, so
+// the conservative recompute costs nothing real). A length mismatch is
+// simply "not equal".
 func (m *DistanceMatrix) VectorEqual(i int, v []float64) bool {
 	if len(v) != m.dim {
 		return false

@@ -78,10 +78,16 @@
 // cluster shape into JSON-serializable scenario.Spec values, expands
 // cartesian matrices over any axis, and runs them on a bounded
 // concurrent runner — the machinery behind
-// `krum-experiments -config matrix.json`.
+// `krum-experiments -config matrix.json`. Because every cell is a pure
+// function of its spec, results cache across processes through the
+// content-addressed store in krum/scenario/store (wired to
+// `krum-experiments -store` and the krum-scenariod matrix service):
+// repeated or overlapping grids replay stored cells byte-identically
+// instead of retraining.
 //
-// See the examples/ directory for complete programs and EXPERIMENTS.md
-// for the reproduction of every figure of the paper's evaluation.
+// See the examples/ directory for complete programs, EXPERIMENTS.md
+// for the reproduction of every figure of the paper's evaluation, and
+// ARCHITECTURE.md for the layer map and the load-bearing contracts.
 package krum
 
 import (

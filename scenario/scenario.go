@@ -13,6 +13,14 @@
 // purely a wall-clock optimization, which is what lets the harness
 // regenerate the paper's figures through the same Runner that serves
 // ad-hoc JSON scenario files.
+//
+// That same determinism makes cells cacheable: every cell is a pure
+// function of its Spec, so a Runner with a ResultStore (see
+// scenario/store for the content-addressed persistent implementation)
+// skips cells whose results are already known and writes fresh ones
+// through — repeated and overlapping grids cost only their uncovered
+// cells. The krum-scenariod service builds on the same pieces to serve
+// many matrices concurrently over HTTP against one shared store.
 package scenario
 
 import (

@@ -331,7 +331,7 @@ func TestRunnerCellErrors(t *testing.T) {
 func TestCompileRunsUnderAttack(t *testing.T) {
 	s := quickSpec()
 	s.Rounds = 60
-	res := runCell(0, s)
+	res := RunCell(nil, 0, s)
 	if res.Err != nil {
 		t.Fatal(res.Err)
 	}

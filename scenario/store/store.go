@@ -1,0 +1,412 @@
+// Package store persists scenario cell results in a content-addressed,
+// append-only JSONL store, keyed by a canonical hash of each cell's
+// fully-resolved Spec. It implements scenario.ResultStore, so a
+// scenario.Runner (or the krum-scenariod service) consults it before
+// running a cell and writes fresh results through — repeated and
+// overlapping experiment grids become near-free, because a cell is a
+// pure function of its spec and a hit returns a result byte-identical
+// (under distsgd.Result's stable JSON encoding) to a cold run.
+//
+// # Keys
+//
+// Key canonicalizes the spec before hashing: each axis spec string is
+// resolved through its registry and replaced by the constructed
+// object's canonical Name()/Spec form, so spelling variants collapse
+// to one key — "krum" at n=15, f=3 and "krum(f=3)" hit the same
+// entry, as do "Gaussian(sigma=200)" and "gaussian(sigma=200)". The
+// cosmetic fields (Name label, Parallel worker count) are excluded:
+// they cannot change a result. Everything else — including Seed,
+// EvalEvery/EvalBatch/TrackSelection (they change Result contents) and
+// the Incremental flag — is hashed, together with the Version salt.
+//
+// # Invalidation
+//
+// Version is the code-version salt. Because it participates in every
+// key, bumping it orphans all previously-stored entries at once: old
+// records remain in the file but their stored key no longer matches
+// any key the new code computes, so every cell recomputes — stale
+// results are never served. Bump Version whenever training semantics,
+// spec interpretation, or the Result encoding change. The same
+// mechanism guards individual records: Open re-derives each record's
+// key from its stored spec and drops mismatches (e.g. a hand-edited
+// spec), so a tampered record triggers recomputation instead of a
+// stale serve.
+//
+// # File format and corruption
+//
+// The file holds one JSON record per line: {"key", "version", "spec",
+// "result"}. Writes are append-only; a crash can therefore only tear
+// the final line. Open tolerates exactly that: a truncated tail is
+// dropped (and the file truncated back to the last intact record) so
+// subsequent appends start clean; interior lines that fail to parse or
+// whose key does not re-derive are skipped and counted (Stats), never
+// served. Duplicate keys resolve last-write-wins, matching the append
+// order. One Store is safe for concurrent use within a process; the
+// file itself assumes a single writing process at a time.
+package store
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"krum/attack"
+	"krum/distsgd"
+	"krum/internal/core"
+	"krum/internal/sgd"
+	"krum/scenario"
+	"krum/workload"
+)
+
+// Version is the code-version salt mixed into every key. Bump it
+// whenever a change anywhere in the training stack (kernels, rules,
+// attacks, schedules, workloads, protocol, Result encoding) can alter
+// the result a spec produces: all existing store entries then miss and
+// recompute — the invalidation rule documented in the package comment.
+const Version = "krum-store-v1"
+
+// ErrStore is the sentinel wrapped by store failures.
+var ErrStore = errors.New("store: error")
+
+// workloadCanon memoizes raw workload spec string → canonical Spec
+// string. Workload factories eagerly construct their dataset and
+// model, which would make every Key computation pay a full dataset
+// build; the canonical spec string depends only on the parsed
+// parameters (never on the seed, which only randomizes weights), so
+// one construction per distinct raw string suffices for the life of
+// the process. Parse failures are not memoized — they stay cheap and
+// keep their full error.
+var workloadCanon sync.Map
+
+// canonicalWorkload resolves a workload spec to its registry-canonical
+// string, via the memo.
+func canonicalWorkload(raw string, seed uint64) (string, error) {
+	if c, ok := workloadCanon.Load(raw); ok {
+		return c.(string), nil
+	}
+	wl, err := workload.Parse(workload.SpecContext{Seed: seed}, raw)
+	if err != nil {
+		return "", err
+	}
+	workloadCanon.Store(raw, wl.Spec)
+	return wl.Spec, nil
+}
+
+// Canonical returns the fully-resolved form of a spec — the identity
+// the store hashes. Axis spec strings are replaced by their registry
+// round-trip canonical forms (an empty attack becomes "none"), and the
+// result-irrelevant fields (Name, Parallel) are cleared. Canonical is
+// idempotent: Canonical(Canonical(s)) == Canonical(s), because every
+// registry guarantees Parse(x.Name()) ≡ x.
+func Canonical(s scenario.Spec) (scenario.Spec, error) {
+	c := s
+	c.Name = ""
+	c.Parallel = 0
+	rule, err := core.ParseRuleIn(core.SpecContext{N: s.N, F: s.F}, s.Rule)
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	c.Rule = rule.Name()
+	if strings.TrimSpace(s.Attack) == "" {
+		c.Attack = "none"
+	} else {
+		atk, err := attack.Parse(s.Attack)
+		if err != nil {
+			return scenario.Spec{}, err
+		}
+		c.Attack = atk.Name()
+	}
+	sched, err := sgd.ParseSchedule(s.Schedule)
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	c.Schedule = sched.Name()
+	c.Workload, err = canonicalWorkload(s.Workload, s.Seed)
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	return c, nil
+}
+
+// Key returns the spec's content address: "sha256:" plus the hex
+// SHA-256 of the Version salt and the canonical spec's JSON. The key
+// is conservative: two specs sharing a key are guaranteed to produce
+// the same result under the current code version, but not every
+// result-identical pair shares a key — notably Incremental is hashed
+// (it is part of the cell's declared identity even though results are
+// bit-identical either way), so flipping it recomputes.
+func Key(s scenario.Spec) (string, error) {
+	c, err := Canonical(s)
+	if err != nil {
+		return "", err
+	}
+	return keyOfCanonical(c)
+}
+
+// keyOfCanonical hashes an already-canonical spec.
+func keyOfCanonical(c scenario.Spec) (string, error) {
+	blob, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("marshaling spec for hashing: %w: %w", err, ErrStore)
+	}
+	h := sha256.New()
+	h.Write([]byte(Version))
+	h.Write([]byte{'\n'})
+	h.Write(blob)
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// record is one JSONL line.
+type record struct {
+	// Key is the content address the record was stored under.
+	Key string `json:"key"`
+	// Version is the salt in effect at write time (informational — the
+	// salt is already baked into Key).
+	Version string `json:"version"`
+	// Spec is the canonical spec the result was computed from.
+	Spec scenario.Spec `json:"spec"`
+	// Result is the stable-encoded training outcome.
+	Result json.RawMessage `json:"result"`
+}
+
+// Stats is a snapshot of a store's counters.
+type Stats struct {
+	// Entries is the number of distinct keys currently indexed.
+	Entries int
+	// Hits and Misses count Lookup outcomes since Open.
+	Hits, Misses int
+	// Saves counts successful Save calls since Open.
+	Saves int
+	// SkippedRecords counts records dropped at Open time: malformed
+	// lines, key mismatches (tampered or stale-salt entries), or
+	// undecodable results. Skipped records are never served.
+	SkippedRecords int
+	// DroppedTailBytes is the size of the torn final line Open
+	// discarded (0 for a clean file).
+	DroppedTailBytes int
+}
+
+// String renders the counters in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d entries, %d hits, %d misses, %d saves, %d skipped, %d tail bytes dropped",
+		s.Entries, s.Hits, s.Misses, s.Saves, s.SkippedRecords, s.DroppedTailBytes)
+}
+
+// Store is a content-addressed scenario result store: an in-memory
+// key → result index, optionally backed by an append-only JSONL file.
+// It implements scenario.ResultStore and is safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	path string
+	file *os.File // nil for in-memory stores
+	// offset is the end of the last fully-written record — the safe
+	// append position. After a failed write the file is rolled back to
+	// it so a torn fragment can never fuse with the next record.
+	offset int64
+	index  map[string]json.RawMessage
+	stats  Stats
+}
+
+// NewMemory returns a store with no backing file — the index lives and
+// dies with the process. It is the default for krum-scenariod when no
+// -store path is given, and convenient in tests and examples.
+func NewMemory() *Store {
+	return &Store{index: make(map[string]json.RawMessage)}
+}
+
+// Open opens (creating if needed) the JSONL store at path, loads every
+// intact record into the index, and prepares the file for appends. See
+// the package comment for the corruption rules: a torn final line is
+// truncated away, records whose key does not re-derive from their spec
+// are skipped, duplicate keys resolve last-write-wins. The returned
+// Stats (via Stats) report what was skipped.
+func Open(path string) (*Store, error) {
+	if path == "" {
+		return nil, fmt.Errorf("empty path (use NewMemory for an in-memory store): %w", ErrStore)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("opening %s: %w: %w", path, err, ErrStore)
+	}
+	s := &Store{path: path, file: f, index: make(map[string]json.RawMessage)}
+	if err := s.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// load scans the JSONL file, indexing intact records and truncating a
+// torn tail.
+func (s *Store) load() error {
+	r := bufio.NewReader(s.file)
+	var offset int64 // end of the last newline-terminated line
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// A final fragment without a newline is a torn append:
+			// drop it and truncate so the next append starts clean.
+			if len(line) > 0 {
+				s.stats.DroppedTailBytes = len(line)
+				if err := s.file.Truncate(offset); err != nil {
+					return fmt.Errorf("truncating torn tail of %s: %w: %w", s.path, err, ErrStore)
+				}
+			}
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("reading %s: %w: %w", s.path, err, ErrStore)
+		}
+		offset += int64(len(line))
+		s.indexLine(line)
+	}
+	if _, err := s.file.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("seeking %s: %w: %w", s.path, err, ErrStore)
+	}
+	s.offset = offset
+	return nil
+}
+
+// indexLine validates one complete line and indexes it, counting (not
+// failing on) records that cannot be served safely.
+func (s *Store) indexLine(line []byte) {
+	trimmed := strings.TrimSpace(string(line))
+	if trimmed == "" {
+		return
+	}
+	var rec record
+	if err := json.Unmarshal([]byte(trimmed), &rec); err != nil {
+		s.stats.SkippedRecords++
+		return
+	}
+	// Re-derive the key from the stored spec: a mismatch means the
+	// record was written under a different code version (stale salt) or
+	// its spec was altered after hashing — either way serving it could
+	// be a stale result, so it is dropped and the cell recomputes.
+	key, err := Key(rec.Spec)
+	if err != nil || key != rec.Key || len(rec.Result) == 0 {
+		s.stats.SkippedRecords++
+		return
+	}
+	s.index[rec.Key] = rec.Result // duplicate keys: last write wins
+}
+
+// Lookup implements scenario.ResultStore. Any internal failure — a
+// spec that cannot be keyed, a result that no longer decodes — is a
+// miss: the runner recomputes, which is always safe.
+func (s *Store) Lookup(spec scenario.Spec) (*distsgd.Result, bool) {
+	key, err := Key(spec)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	raw, ok := s.index[key]
+	if !ok {
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Unlock()
+	res := new(distsgd.Result)
+	if err := json.Unmarshal(raw, res); err != nil {
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	s.stats.Hits++
+	s.mu.Unlock()
+	return res, true
+}
+
+// Save implements scenario.ResultStore: it appends one record to the
+// file (when backed by one) and indexes it. The stored spec is the
+// canonical form, so reloads re-derive the same key.
+func (s *Store) Save(spec scenario.Spec, res *distsgd.Result) error {
+	c, err := Canonical(spec)
+	if err != nil {
+		return fmt.Errorf("canonicalizing spec: %w", err)
+	}
+	key, err := keyOfCanonical(c)
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("encoding result: %w: %w", err, ErrStore)
+	}
+	line, err := json.Marshal(record{Key: key, Version: Version, Spec: c, Result: raw})
+	if err != nil {
+		return fmt.Errorf("encoding record: %w: %w", err, ErrStore)
+	}
+	line = append(line, '\n')
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file != nil {
+		if _, err := s.file.Write(line); err != nil {
+			// A failed append may have left a torn fragment; roll the
+			// file back to the last good record so a later successful
+			// Save cannot fuse with it (which would silently lose THAT
+			// record on the next Open). If even the rollback fails, the
+			// file is unusable — drop to memory-only so persistence
+			// errors stay loud but hits keep working.
+			if terr := s.rollback(); terr != nil {
+				s.file.Close()
+				s.file = nil
+				return fmt.Errorf("appending to %s: %w (rollback failed: %v; store is memory-only now): %w", s.path, err, terr, ErrStore)
+			}
+			return fmt.Errorf("appending to %s: %w: %w", s.path, err, ErrStore)
+		}
+		s.offset += int64(len(line))
+	}
+	s.index[key] = raw
+	s.stats.Saves++
+	return nil
+}
+
+// rollback truncates the file to the last fully-written record and
+// repositions the append cursor. Callers hold s.mu.
+func (s *Store) rollback() error {
+	if err := s.file.Truncate(s.offset); err != nil {
+		return err
+	}
+	_, err := s.file.Seek(s.offset, io.SeekStart)
+	return err
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.index)
+	return st
+}
+
+// Path returns the backing file path ("" for in-memory stores).
+func (s *Store) Path() string { return s.path }
+
+// Close releases the backing file (a no-op for in-memory stores). The
+// store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return nil
+	}
+	err := s.file.Close()
+	s.file = nil
+	return err
+}
