@@ -11,7 +11,7 @@ TRACKED_BENCHES ?= BenchmarkBulyanMemoized|BenchmarkScenarioMatrixRunner|Benchma
 # it up locally for a real hunt).
 FUZZTIME ?= 10s
 
-.PHONY: check check-docs fmt vet build test race fuzz-smoke bench bench-all
+.PHONY: check check-docs fmt vet build test race shard-tests fuzz-smoke bench bench-all
 
 # check is the CI gate: formatting, static analysis, build, the
 # race-detector pass over the full tree (race runs every test, so a
@@ -22,8 +22,9 @@ check: fmt vet build race check-docs
 # check-docs is the documentation drift guard: every registry built-in
 # must be named in README/EXPERIMENTS/ARCHITECTURE and still
 # round-trip via its parser, and every exported identifier in the
-# newest packages (scenario/store, cmd/krum-scenariod) must carry a
-# doc comment. Blocking in CI — docs rot is a build failure here.
+# newest packages (scenario/store, scenario/shardproto,
+# cmd/krum-scenariod) must carry a doc comment. Blocking in CI — docs
+# rot is a build failure here.
 check-docs:
 	$(GO) test -run 'TestDocs' .
 
@@ -47,6 +48,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# shard-tests is the distributed-execution gate: the coordinator +
+# in-process-worker-fleet integration test, the chaos test (worker
+# killed mid-cell, delayed heartbeats), the single-flight property
+# suite and the Monte-Carlo warm-rerun proofs, all under the race
+# detector. Blocking in CI as its own job — the sharding layer's
+# byte-identity contract is the whole point.
+shard-tests:
+	$(GO) test -race -count 1 -run 'TestShard|TestChaos|TestSingleFlight|TestMonteCarlo' ./cmd/krum-scenariod ./scenario/store ./internal/harness
+	$(GO) test -race -count 1 ./scenario/shardproto
+
 # fuzz-smoke runs each native fuzz target for a short budget (seeds +
 # committed corpus + a few seconds of mutation). One target at a time:
 # `go test -fuzz` accepts a single target per invocation.
@@ -56,6 +67,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseAttack$$' -fuzztime $(FUZZTIME) ./attack
 	$(GO) test -run '^$$' -fuzz '^FuzzParseSchedule$$' -fuzztime $(FUZZTIME) ./internal/sgd
 	$(GO) test -run '^$$' -fuzz '^FuzzParseWorkload$$' -fuzztime $(FUZZTIME) ./workload
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeMessage$$' -fuzztime $(FUZZTIME) ./scenario/shardproto
 
 # bench runs the tracked benchmarks and emits BENCH_scenario.json:
 # parsed metrics plus the raw `go test -bench` text in the "raw" field

@@ -1,0 +1,555 @@
+package main
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"krum/distsgd"
+	"krum/scenario"
+	"krum/scenario/shardproto"
+	"krum/scenario/store"
+)
+
+// The fleet is the coordinator half of sharded scenario execution: a
+// dispatch queue plus heartbeat-based membership. Cells enter through
+// fleet.execute (called under the store's single-flight, so one key is
+// dispatched at most once however many matrices or callers want it),
+// wait in a FIFO queue, and are leased to workers that long-poll for
+// work. A worker silent for longer than the lease is presumed dead:
+// its tasks are requeued and picked up by the next poll. When no live
+// workers remain (none ever joined, or the fleet died mid-matrix),
+// execution falls back to the local in-process path — a coordinator
+// without a fleet is exactly the PR-4 single-process service.
+
+// errNoWorkers resolves a task the fleet cannot execute; execute
+// answers it by computing locally, so matrices always complete.
+var errNoWorkers = errors.New("fleet: no live workers")
+
+// maxTaskAttempts bounds how many workers may die holding one task
+// before the coordinator stops re-dispatching and computes it locally.
+const maxTaskAttempts = 3
+
+// fleetTask is one dispatched cell.
+type fleetTask struct {
+	id       string
+	spec     scenario.Spec
+	attempts int
+	// worker is the current assignee ("" while queued).
+	worker string
+	// deadline bounds how long an ASSIGNMENT may go unmentioned: set at
+	// assignment and refreshed by heartbeats naming the task. A lapsed
+	// deadline requeues the task even if its worker still polls —
+	// covering a lost poll response and a lost result report, the two
+	// failures worker-lease expiry cannot see.
+	deadline time.Time
+	// done closes when the task resolves; raw/err are valid after.
+	done chan struct{}
+	raw  json.RawMessage
+	err  error
+}
+
+// fleetWorker is one fleet member's membership state.
+type fleetWorker struct {
+	id    string
+	token string
+	slots int
+	// joined and lastSeen bound the member's lease.
+	joined   time.Time
+	lastSeen time.Time
+	// tasks are the member's in-flight assignments, by task id.
+	tasks map[string]*fleetTask
+}
+
+// fleet tracks members and the dispatch queue. All fields are guarded
+// by mu; tasks resolve by closing done with raw/err already set.
+type fleet struct {
+	lease    time.Duration
+	pollWait time.Duration
+
+	mu       sync.Mutex
+	workers  map[string]*fleetWorker
+	queue    []*fleetTask
+	assigned map[string]*fleetTask
+	wseq     int
+	tseq     int
+	closed   bool
+	// notify wakes one idle long-poll when the queue gains a task.
+	notify chan struct{}
+}
+
+// newFleet builds a fleet with the given liveness lease (0 means 10s);
+// the long-poll window is derived from it.
+func newFleet(lease time.Duration) *fleet {
+	if lease <= 0 {
+		lease = 10 * time.Second
+	}
+	pollWait := lease / 10
+	if pollWait > time.Second {
+		pollWait = time.Second
+	}
+	if pollWait < 20*time.Millisecond {
+		pollWait = 20 * time.Millisecond
+	}
+	return &fleet{
+		lease:    lease,
+		pollWait: pollWait,
+		workers:  make(map[string]*fleetWorker),
+		assigned: make(map[string]*fleetTask),
+		notify:   make(chan struct{}, 1),
+	}
+}
+
+// execute runs one cell through the fleet and blocks until its result
+// arrives (through however many lease-expiry reassignments it takes),
+// falling back to local computation when no live workers exist. It is
+// the compute function the store's single-flight invokes, so identical
+// concurrent cells reach it exactly once.
+func (fl *fleet) execute(spec scenario.Spec) (*distsgd.Result, error) {
+	t, ok := fl.enqueue(spec)
+	if !ok {
+		return scenario.ComputeCell(spec)
+	}
+	<-t.done
+	if errors.Is(t.err, errNoWorkers) {
+		return scenario.ComputeCell(spec)
+	}
+	if t.err != nil {
+		return nil, t.err
+	}
+	res := new(distsgd.Result)
+	if err := json.Unmarshal(t.raw, res); err != nil {
+		return nil, fmt.Errorf("decoding worker result: %w", err)
+	}
+	return res, nil
+}
+
+// enqueue appends a task for dispatch; ok is false when the fleet has
+// no live workers (or is closed) and the caller should run locally.
+func (fl *fleet) enqueue(spec scenario.Spec) (*fleetTask, bool) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.closed || len(fl.workers) == 0 {
+		return nil, false
+	}
+	fl.tseq++
+	t := &fleetTask{
+		id:   fmt.Sprintf("t%d", fl.tseq),
+		spec: spec,
+		done: make(chan struct{}),
+	}
+	fl.queue = append(fl.queue, t)
+	fl.signal()
+	return t, true
+}
+
+// signal wakes one idle poller; callers hold fl.mu. The channel is a
+// level trigger with capacity one — a poller that misses the edge
+// still re-checks the queue on its poll-window timeout.
+func (fl *fleet) signal() {
+	select {
+	case fl.notify <- struct{}{}:
+	default:
+	}
+}
+
+// join admits a new member and returns its identity grant, including
+// the per-member secret every later message must echo.
+func (fl *fleet) join(slots int) shardproto.JoinResponse {
+	token := make([]byte, 16)
+	rand.Read(token) // never fails (crypto/rand contract)
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	fl.wseq++
+	w := &fleetWorker{
+		id:       fmt.Sprintf("w%d", fl.wseq),
+		token:    hex.EncodeToString(token),
+		slots:    slots,
+		joined:   time.Now(),
+		lastSeen: time.Now(),
+		tasks:    make(map[string]*fleetTask),
+	}
+	fl.workers[w.id] = w
+	return shardproto.JoinResponse{
+		WorkerID:    w.id,
+		Token:       w.token,
+		LeaseMillis: int(fl.lease / time.Millisecond),
+	}
+}
+
+// member authenticates (id, token) against the live membership;
+// callers hold fl.mu. A bad token is indistinguishable from an expired
+// id, so guessing sequential worker ids grants nothing.
+func (fl *fleet) member(workerID, token string) *fleetWorker {
+	w, ok := fl.workers[workerID]
+	if !ok || w.token != token {
+		return nil
+	}
+	return w
+}
+
+// tryAssign refreshes the member's lease and hands it the oldest
+// queued task, if any. known is false for expired, never-joined or
+// wrongly-authenticated ids — the 410 that tells a worker to rejoin.
+func (fl *fleet) tryAssign(workerID, token string) (t *fleetTask, known bool) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	w := fl.member(workerID, token)
+	if w == nil {
+		return nil, false
+	}
+	w.lastSeen = time.Now()
+	if fl.closed || len(fl.queue) == 0 {
+		return nil, true
+	}
+	t = fl.queue[0]
+	fl.queue = fl.queue[1:]
+	t.worker = workerID
+	t.attempts++
+	t.deadline = time.Now().Add(fl.lease)
+	fl.assigned[t.id] = t
+	w.tasks[t.id] = t
+	if len(fl.queue) > 0 {
+		fl.signal()
+	}
+	return t, true
+}
+
+// heartbeat refreshes a member's lease and, when the heartbeat names a
+// task assigned to that member, the task's own deadline; false means
+// the id is unknown (expired) and the worker must rejoin.
+func (fl *fleet) heartbeat(workerID, token, taskID string) bool {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	w := fl.member(workerID, token)
+	if w == nil {
+		return false
+	}
+	w.lastSeen = time.Now()
+	if t, ok := fl.assigned[taskID]; ok && t.worker == workerID {
+		t.deadline = time.Now().Add(fl.lease)
+	}
+	return true
+}
+
+// validResultBytes reports that a reported payload is a stable-encoded
+// distsgd.Result: it must decode AND re-encode to the identical bytes.
+// That is exactly what an honest same-version worker produces
+// (Marshal∘Unmarshal∘Marshal ≡ Marshal, the serialize.go contract), so
+// the check costs honest reports nothing while rejecting arbitrary
+// JSON that would otherwise decode to a zero-value Result and be
+// persisted as the cell's permanent store entry.
+func validResultBytes(raw json.RawMessage) bool {
+	res := new(distsgd.Result)
+	if err := json.Unmarshal(raw, res); err != nil {
+		return false
+	}
+	again, err := json.Marshal(res)
+	if err != nil {
+		return false
+	}
+	return bytes.Equal(bytes.TrimSpace(raw), again)
+}
+
+// complete resolves a task with a worker's report. It is accepted only
+// if the report authenticates, the task is still assigned to that
+// worker, and a success payload survives the canonical-bytes check: a
+// report for a task requeued after expiry (or already resolved by the
+// replacement) answers false and is discarded — the executions are
+// byte-identical, so dropping the stale copy loses nothing and keeps
+// the store to one save per key — while a malformed payload requeues
+// the task, treating its sender as faulty.
+func (fl *fleet) complete(workerID, token, taskID string, raw json.RawMessage, errMsg string) bool {
+	fl.mu.Lock()
+	w := fl.member(workerID, token)
+	if w == nil {
+		fl.mu.Unlock()
+		return false
+	}
+	w.lastSeen = time.Now()
+	t, ok := fl.assigned[taskID]
+	if !ok || t.worker != workerID {
+		fl.mu.Unlock()
+		return false
+	}
+	if errMsg == "" && !validResultBytes(raw) {
+		// The worker is alive but talking garbage: take the task away
+		// from it and let someone else compute.
+		delete(fl.assigned, taskID)
+		delete(w.tasks, taskID)
+		resolve := fl.requeueLocked(t)
+		fl.mu.Unlock()
+		resolveAll(resolve)
+		return false
+	}
+	delete(fl.assigned, taskID)
+	delete(w.tasks, taskID)
+	fl.mu.Unlock()
+	if errMsg != "" {
+		t.err = errors.New(errMsg)
+	} else {
+		t.raw = raw
+	}
+	close(t.done)
+	return true
+}
+
+// requeueLocked returns an unassigned-again task to the queue, or —
+// when its attempts are exhausted — hands it back for resolution to
+// the local fallback. Callers hold fl.mu and have already removed the
+// task from the assignment maps.
+func (fl *fleet) requeueLocked(t *fleetTask) []*fleetTask {
+	t.worker = ""
+	if t.attempts >= maxTaskAttempts {
+		return []*fleetTask{t}
+	}
+	fl.queue = append(fl.queue, t)
+	fl.signal()
+	return nil
+}
+
+// resolveAll resolves tasks to the local fallback, outside fl.mu.
+func resolveAll(tasks []*fleetTask) {
+	for _, t := range tasks {
+		t.err = errNoWorkers
+		close(t.done)
+	}
+}
+
+// sweep expires members whose lease lapsed and assignments whose own
+// deadline lapsed, requeueing the affected tasks (tasks that already
+// bounced off maxTaskAttempts assignments resolve to the local
+// fallback instead). When the last member expires, every pending task
+// resolves to the local fallback so matrices complete without a fleet.
+func (fl *fleet) sweep(now time.Time) {
+	fl.mu.Lock()
+	var resolve []*fleetTask
+	for id, w := range fl.workers {
+		if now.Sub(w.lastSeen) <= fl.lease {
+			continue
+		}
+		delete(fl.workers, id)
+		for tid, t := range w.tasks {
+			delete(fl.assigned, tid)
+			resolve = append(resolve, fl.requeueLocked(t)...)
+		}
+	}
+	// Task-level deadlines catch assignments a live worker lost (a poll
+	// response that never arrived) or finished but failed to report.
+	for tid, t := range fl.assigned {
+		if now.Before(t.deadline) {
+			continue
+		}
+		delete(fl.assigned, tid)
+		if w, ok := fl.workers[t.worker]; ok {
+			delete(w.tasks, tid)
+		}
+		resolve = append(resolve, fl.requeueLocked(t)...)
+	}
+	if len(fl.workers) == 0 {
+		resolve = append(resolve, fl.queue...)
+		fl.queue = nil
+	}
+	fl.mu.Unlock()
+	resolveAll(resolve)
+}
+
+// close drains the fleet at shutdown: every pending task resolves to
+// the local fallback (so in-flight cells still finish and persist, the
+// PR-4 shutdown contract), and later polls find an empty queue.
+func (fl *fleet) close() {
+	fl.mu.Lock()
+	fl.closed = true
+	resolve := append([]*fleetTask(nil), fl.queue...)
+	fl.queue = nil
+	for id, t := range fl.assigned {
+		delete(fl.assigned, id)
+		resolve = append(resolve, t)
+	}
+	for _, w := range fl.workers {
+		w.tasks = make(map[string]*fleetTask)
+	}
+	fl.mu.Unlock()
+	for _, t := range resolve {
+		t.err = errNoWorkers
+		close(t.done)
+	}
+}
+
+// fleetWorkerJSON is one member's row in the GET /fleet reply.
+type fleetWorkerJSON struct {
+	// ID is the coordinator-assigned member identity.
+	ID string `json:"id"`
+	// Slots is the capacity the member declared at join.
+	Slots int `json:"slots"`
+	// InFlight counts the member's currently-assigned tasks.
+	InFlight int `json:"in_flight"`
+	// LastSeenMillis is the age of the member's last message.
+	LastSeenMillis int64 `json:"last_seen_millis"`
+}
+
+// fleetStatusJSON is the GET /fleet reply.
+type fleetStatusJSON struct {
+	// Workers lists live members in join order.
+	Workers []fleetWorkerJSON `json:"workers"`
+	// Queued counts tasks waiting for a poll.
+	Queued int `json:"queued"`
+	// Assigned counts tasks leased to members.
+	Assigned int `json:"assigned"`
+	// LeaseMillis is the liveness lease members must beat.
+	LeaseMillis int `json:"lease_millis"`
+}
+
+// status snapshots the fleet for the membership endpoint.
+func (fl *fleet) status() fleetStatusJSON {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	now := time.Now()
+	out := fleetStatusJSON{
+		Queued:      len(fl.queue),
+		Assigned:    len(fl.assigned),
+		LeaseMillis: int(fl.lease / time.Millisecond),
+	}
+	for _, w := range fl.workers {
+		out.Workers = append(out.Workers, fleetWorkerJSON{
+			ID:             w.id,
+			Slots:          w.slots,
+			InFlight:       len(w.tasks),
+			LastSeenMillis: now.Sub(w.lastSeen).Milliseconds(),
+		})
+	}
+	sort.Slice(out.Workers, func(i, j int) bool {
+		a, b := out.Workers[i].ID, out.Workers[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return out
+}
+
+// handleFleetJoin admits a worker (POST /fleet/join).
+func (s *Server) handleFleetJoin(w http.ResponseWriter, r *http.Request) {
+	body, err := shardproto.ReadBody(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := shardproto.DecodeJoinRequest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// A worker built before a result-affecting change must not
+	// contribute cells: its results would persist under the NEW version
+	// salt — a silent stale-serve the salt exists to prevent.
+	if req.Version != store.Version {
+		http.Error(w, fmt.Sprintf("version mismatch: worker %q, coordinator %q (rebuild the worker)",
+			req.Version, store.Version), http.StatusConflict)
+		return
+	}
+	s.mu.Lock()
+	stopped := s.stopped
+	s.mu.Unlock()
+	if stopped {
+		http.Error(w, "server is shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, s.fleet.join(req.Slots))
+}
+
+// handleFleetPoll leases a task to a worker (POST /fleet/poll),
+// holding the request open for the poll window when the queue is idle.
+func (s *Server) handleFleetPoll(w http.ResponseWriter, r *http.Request) {
+	body, err := shardproto.ReadBody(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := shardproto.DecodePollRequest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	deadline := time.NewTimer(s.fleet.pollWait)
+	defer deadline.Stop()
+	for {
+		t, known := s.fleet.tryAssign(req.WorkerID, req.Token)
+		if !known {
+			http.Error(w, "unknown worker id (lease expired; rejoin)", http.StatusGone)
+			return
+		}
+		if t != nil {
+			w.Header().Set("Content-Type", "application/json")
+			writeJSON(w, shardproto.PollResponse{Task: &shardproto.Task{ID: t.id, Spec: t.spec}})
+			return
+		}
+		select {
+		case <-s.fleet.notify:
+		case <-deadline.C:
+			w.Header().Set("Content-Type", "application/json")
+			writeJSON(w, shardproto.PollResponse{})
+			return
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			w.Header().Set("Content-Type", "application/json")
+			writeJSON(w, shardproto.PollResponse{})
+			return
+		}
+	}
+}
+
+// handleFleetHeartbeat refreshes a worker's lease (POST
+// /fleet/heartbeat).
+func (s *Server) handleFleetHeartbeat(w http.ResponseWriter, r *http.Request) {
+	body, err := shardproto.ReadBody(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := shardproto.DecodeHeartbeatRequest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !s.fleet.heartbeat(req.WorkerID, req.Token, req.TaskID) {
+		http.Error(w, "unknown worker id (lease expired; rejoin)", http.StatusGone)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleFleetResult records a worker's task report (POST
+// /fleet/result).
+func (s *Server) handleFleetResult(w http.ResponseWriter, r *http.Request) {
+	body, err := shardproto.ReadBody(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := shardproto.DecodeResultRequest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	accepted := s.fleet.complete(req.WorkerID, req.Token, req.TaskID, req.Result, req.Error)
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, shardproto.ResultResponse{Accepted: accepted})
+}
+
+// handleFleetStatus reports fleet membership and queue depth (GET
+// /fleet).
+func (s *Server) handleFleetStatus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, s.fleet.status())
+}

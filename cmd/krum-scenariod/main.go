@@ -1,13 +1,31 @@
-// Command krum-scenariod is a long-running HTTP service that executes
-// scenario matrices (see EXPERIMENTS.md and ARCHITECTURE.md at the
-// repository root): clients POST JSON matrix definitions — the same
-// schema krum-experiments -config accepts under "matrix" — and the
-// service fans their cells out across one shared bounded worker pool,
-// backed by a shared content-addressed result store.
+// Command krum-scenariod is the scenario-execution service (see
+// EXPERIMENTS.md and ARCHITECTURE.md at the repository root). It runs
+// in one of two roles:
+//
+// The coordinator (default) is a long-running HTTP service that
+// accepts JSON matrix submissions — the same schema krum-experiments
+// -config accepts under "matrix" — expands them, and executes their
+// cells against a shared content-addressed result store with
+// store-level single-flight: concurrent identical cells, across
+// matrices and across callers, collapse to one execution. With no
+// workers joined every cell runs in-process on one shared bounded
+// pool; once workers join, cells are dispatched to the fleet instead.
 //
 //	krum-scenariod -addr :8080 -workers 8 -store cells.jsonl
 //
-// Endpoints:
+// A worker joins a coordinator's fleet and contributes capacity:
+//
+//	krum-scenariod -worker -join http://coordinator:8080 -workers 4
+//
+// Workers long-poll for cells, execute them locally, heartbeat while a
+// cell trains, and report stable-JSON results back; the coordinator
+// requeues the tasks of workers whose lease lapses, so killing a
+// worker mid-cell only moves its cells elsewhere. Results are
+// byte-identical whatever the topology — zero workers, one, many, or
+// many minus the ones that died — because every cell is a pure
+// function of its spec.
+//
+// Coordinator endpoints:
 //
 //	POST /matrices               submit a scenario.Matrix (JSON); returns {id, cells, ...urls}
 //	GET  /matrices               status of every submitted matrix
@@ -15,21 +33,20 @@
 //	GET  /matrices/{id}/results  positional results array (null for pending cells)
 //	GET  /matrices/{id}/stream   NDJSON of cells in completion order, live until finished
 //	DELETE /matrices/{id}        evict a finished/aborted matrix from memory (store keeps its cells)
-//	GET  /store                  result-store counters (hits, misses, entries, ...)
+//	POST /fleet/join             worker → coordinator: join the fleet (scenario/shardproto schema)
+//	POST /fleet/poll             worker → coordinator: long-poll for a cell task
+//	POST /fleet/heartbeat        worker → coordinator: mid-cell liveness
+//	POST /fleet/result           worker → coordinator: report a finished task
+//	GET  /fleet                  fleet membership + queue depth
+//	GET  /store                  result-store counters (hits, misses, flight waits, ...)
 //	GET  /healthz                liveness probe
 //
-// Concurrent matrices share the pool: total in-flight cells never
-// exceed -workers, however many matrices are running. Results are
-// deterministic per cell regardless of the interleaving (cells are
-// explicitly seeded pure functions of their spec), so two clients
-// racing the same grid get identical numbers.
-//
-// Shutdown (SIGINT/SIGTERM) is graceful mid-matrix: in-flight cells
-// finish and persist to the store, unstarted cells never run, and the
-// affected matrices report "aborted". Because every completed cell is
-// in the store, resume is simply resubmitting the same matrix after
-// restart — the completed prefix replays as cache hits and only the
-// remainder computes.
+// Shutdown (SIGINT/SIGTERM) is graceful mid-matrix in both roles: a
+// coordinator finishes and persists in-flight cells (dispatched cells
+// fall back to local execution), unstarted cells never run, and the
+// affected matrices report "aborted" — resume is resubmitting the same
+// matrix after restart, replaying the completed prefix as store hits.
+// A dying worker simply stops heartbeating; its cells are reassigned.
 package main
 
 import (
@@ -40,6 +57,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -53,9 +71,12 @@ func main() {
 
 // run is the testable body of main (exit-once rule).
 func run() int {
-	addrFlag := flag.String("addr", ":8080", "listen address")
-	workersFlag := flag.Int("workers", 0, "shared worker-pool size across all matrices (0 = NumCPU)")
+	addrFlag := flag.String("addr", ":8080", "coordinator listen address")
+	workersFlag := flag.Int("workers", 0, "coordinator: shared pool width across all matrices; worker: concurrent cell slots (0 = NumCPU)")
 	storeFlag := flag.String("store", "", "content-addressed result store JSONL path (empty = in-memory only)")
+	leaseFlag := flag.Duration("lease", 10*time.Second, "coordinator: worker liveness lease (a worker silent this long is presumed dead)")
+	workerFlag := flag.Bool("worker", false, "run as a fleet worker instead of a coordinator")
+	joinFlag := flag.String("join", "", "worker: coordinator base URL to join, e.g. http://host:8080")
 	flag.Parse()
 
 	var st scenario.ResultStore
@@ -69,20 +90,57 @@ func run() int {
 		stats := fileStore.Stats()
 		fmt.Printf("store %s: %s\n", *storeFlag, stats)
 		st = fileStore
+	} else if *workerFlag {
+		st = nil // workers need no cache; the coordinator persists results
 	} else {
 		st = store.NewMemory()
 		fmt.Println("store: in-memory (pass -store to persist results across restarts)")
 	}
 
-	srv := NewServer(*workersFlag, st)
-	httpSrv := &http.Server{Addr: *addrFlag, Handler: srv}
-
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
+	if *workerFlag {
+		return runWorker(ctx, *joinFlag, *workersFlag, st)
+	}
+	return runCoordinator(ctx, *addrFlag, *workersFlag, *leaseFlag, st)
+}
+
+// runWorker is the -worker role: join the fleet and execute dispatched
+// cells until interrupted.
+func runWorker(ctx context.Context, join string, slots int, st scenario.ResultStore) int {
+	if join == "" {
+		fmt.Fprintln(os.Stderr, "-worker requires -join <coordinator URL>")
+		return 2
+	}
+	if slots <= 0 {
+		slots = runtime.NumCPU()
+	}
+	w := &Worker{
+		Coordinator: join,
+		Slots:       slots,
+		Store:       st,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("worker: "+format+"\n", args...)
+		},
+	}
+	fmt.Printf("krum-scenariod worker: %d slots, joining %s\n", slots, join)
+	if err := w.Run(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+		return 1
+	}
+	fmt.Println("bye (in-flight cells were abandoned; the coordinator reassigns them)")
+	return 0
+}
+
+// runCoordinator is the default role: serve matrices and the fleet.
+func runCoordinator(ctx context.Context, addr string, workers int, lease time.Duration, st scenario.ResultStore) int {
+	srv := NewServer(workers, st, lease)
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("krum-scenariod listening on %s\n", *addrFlag)
+		fmt.Printf("krum-scenariod listening on %s\n", addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -1,0 +1,8 @@
+//go:build !race
+
+package main
+
+// raceDetectorEnabled is false in ordinary test builds; see
+// race_enabled_test.go for why the sharding end-to-end test consults
+// it.
+const raceDetectorEnabled = false

@@ -1,0 +1,12 @@
+//go:build race
+
+package main
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. The end-to-end sharding test runs the full
+// examples/matrix-only.json grid in ordinary builds but a reduced
+// slice of it under the race detector, whose instrumentation slows
+// training cells by an order of magnitude; the byte-identity
+// assertions are identical either way, and the plain CI job still
+// exercises the full file.
+const raceDetectorEnabled = true

@@ -16,15 +16,20 @@ import (
 	"krum/scenario/store"
 )
 
-// Server is the multi-matrix scenario service: it accepts JSON matrix
-// submissions over HTTP, fans their cells out across ONE shared
-// bounded worker pool (so concurrent matrices share compute fairly
-// instead of each spawning its own), serves per-matrix progress and
-// streaming results, and consults a shared scenario.ResultStore before
-// every cell. Because cells are pure functions of their spec and every
-// computed cell is written through to the store, a service restart
-// loses no work: resubmitting an interrupted matrix replays its
-// completed prefix as store hits and only computes the remainder.
+// Server is the multi-matrix scenario coordinator: it accepts JSON
+// matrix submissions over HTTP, fans their cells out across ONE shared
+// bounded pool (so concurrent matrices share capacity fairly instead
+// of each spawning its own), serves per-matrix progress and streaming
+// results, and runs every cell through a shared
+// scenario.ResultStore's single-flight — a stored cell is a hit, an
+// in-flight identical cell is waited on, and only genuinely new work
+// executes. Execution itself goes through the fleet (fleet.go): cells
+// dispatch to joined workers when any are live and run in-process
+// otherwise, with identical bytes either way. Because cells are pure
+// functions of their spec and every computed cell is written through
+// to the store, a service restart loses no work: resubmitting an
+// interrupted matrix replays its completed prefix as store hits and
+// only computes the remainder.
 //
 // Completed matrices stay in memory (results included) until a client
 // deletes them (DELETE /matrices/{id}); consumers of many grids should
@@ -32,8 +37,13 @@ import (
 // store either way.
 type Server struct {
 	store scenario.ResultStore
-	// sem is the shared pool: one slot per concurrently-running cell,
-	// across ALL matrices.
+	// fleet is the coordinator's dispatch queue + membership table (see
+	// fleet.go). With no joined workers every cell runs locally, so a
+	// fleetless coordinator behaves exactly like the single-process
+	// service.
+	fleet *fleet
+	// sem is the shared pool: one slot per concurrently-running cell
+	// OR concurrently-dispatched cell, across ALL matrices.
 	sem chan struct{}
 	// ctx is cancelled by Stop; cells never start after cancellation.
 	ctx    context.Context
@@ -76,15 +86,17 @@ type matrixRun struct {
 }
 
 // NewServer builds a Server with the given shared pool width (0 means
-// runtime.NumCPU()) and result store (use store.NewMemory() for a
-// non-persistent service).
-func NewServer(workers int, st scenario.ResultStore) *Server {
+// runtime.NumCPU()), result store (use store.NewMemory() for a
+// non-persistent service) and fleet liveness lease (0 means 10s; only
+// relevant once workers join).
+func NewServer(workers int, st scenario.ResultStore, lease time.Duration) *Server {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		store:    st,
+		fleet:    newFleet(lease),
 		sem:      make(chan struct{}, workers),
 		ctx:      ctx,
 		cancel:   cancel,
@@ -97,9 +109,35 @@ func NewServer(workers int, st scenario.ResultStore) *Server {
 	s.mux.HandleFunc("DELETE /matrices/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /matrices/{id}/results", s.handleResults)
 	s.mux.HandleFunc("GET /matrices/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("POST /fleet/join", s.handleFleetJoin)
+	s.mux.HandleFunc("POST /fleet/poll", s.handleFleetPoll)
+	s.mux.HandleFunc("POST /fleet/heartbeat", s.handleFleetHeartbeat)
+	s.mux.HandleFunc("POST /fleet/result", s.handleFleetResult)
+	s.mux.HandleFunc("GET /fleet", s.handleFleetStatus)
 	s.mux.HandleFunc("GET /store", s.handleStore)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	go s.sweepFleet()
 	return s
+}
+
+// sweepFleet periodically expires dead fleet members, requeueing their
+// tasks; it exits when Stop cancels the server context (fleet.close
+// then resolves whatever remains).
+func (s *Server) sweepFleet() {
+	interval := s.fleet.lease / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case now := <-ticker.C:
+			s.fleet.sweep(now)
+		}
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -120,6 +158,10 @@ func (s *Server) Stop() {
 	s.stopped = true
 	s.mu.Unlock()
 	s.cancel()
+	// Resolve every dispatched task to the local fallback so in-flight
+	// cells still finish and persist (the shutdown contract) even when
+	// their workers never answer.
+	s.fleet.close()
 	s.wg.Wait()
 }
 
@@ -307,7 +349,7 @@ loop:
 				<-s.sem
 				cellWG.Done()
 			}()
-			cr := scenario.RunCell(s.store, i, run.cells[i])
+			cr := s.executeCell(i, run.cells[i])
 			run.record(cr)
 		}(i)
 	}
@@ -316,6 +358,16 @@ loop:
 	// delivering late completions and DELETE must keep refusing.
 	cellWG.Wait()
 	run.finish(aborted)
+}
+
+// executeCell runs one cell through the shared store's single-flight
+// (identical concurrent cells — across matrices and across the fleet —
+// collapse to one execution) with the fleet as the compute path: cells
+// dispatch to workers when any are live and run locally otherwise.
+func (s *Server) executeCell(i int, cell scenario.Spec) scenario.CellResult {
+	return scenario.RunCellWith(s.store, i, cell, func() (*distsgd.Result, error) {
+		return s.fleet.execute(cell)
+	})
 }
 
 // record stores one completed cell.
@@ -545,6 +597,7 @@ func (s *Server) handleStore(w http.ResponseWriter, _ *http.Request) {
 		"entries":            stats.Entries,
 		"hits":               stats.Hits,
 		"misses":             stats.Misses,
+		"flight_waits":       stats.FlightWaits,
 		"saves":              stats.Saves,
 		"skipped_records":    stats.SkippedRecords,
 		"dropped_tail_bytes": stats.DroppedTailBytes,

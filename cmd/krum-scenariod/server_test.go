@@ -110,7 +110,7 @@ func encodeResult(t *testing.T, r *distsgd.Result) string {
 // the interleaving across matrices changes nothing.
 func TestServerConcurrentMatricesShareStoreAndPool(t *testing.T) {
 	st := store.NewMemory()
-	srv := NewServer(2, st)
+	srv := NewServer(2, st, 0)
 	defer srv.Stop()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -168,7 +168,7 @@ func TestServerConcurrentMatricesShareStoreAndPool(t *testing.T) {
 // TestServerStreamReplaysCompletionOrder reads the NDJSON stream of a
 // finished matrix and expects every cell exactly once.
 func TestServerStreamReplaysCompletionOrder(t *testing.T) {
-	srv := NewServer(2, store.NewMemory())
+	srv := NewServer(2, store.NewMemory(), 0)
 	defer srv.Stop()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -209,7 +209,7 @@ func TestServerResumeAfterRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv1 := NewServer(2, st1)
+	srv1 := NewServer(2, st1, 0)
 	ts1 := httptest.NewServer(srv1)
 	body := matrixBody(t, 47, "krum", "average")
 	sub1 := submit(t, ts1, body)
@@ -227,7 +227,7 @@ func TestServerResumeAfterRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv2 := NewServer(2, st2)
+	srv2 := NewServer(2, st2, 0)
 	defer srv2.Stop()
 	ts2 := httptest.NewServer(srv2)
 	defer ts2.Close()
@@ -249,7 +249,7 @@ func TestServerResumeAfterRestart(t *testing.T) {
 // server must not deadlock, and each matrix must end either finished
 // or aborted with only completed cells recorded.
 func TestServerStopAbortsCleanly(t *testing.T) {
-	srv := NewServer(1, store.NewMemory())
+	srv := NewServer(1, store.NewMemory(), 0)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -294,7 +294,7 @@ func TestServerStopAbortsCleanly(t *testing.T) {
 // its cells, and still-running matrices cannot be deleted... the
 // resubmission after deletion is served from the store.
 func TestServerDeleteEvictsFinishedMatrix(t *testing.T) {
-	srv := NewServer(2, store.NewMemory())
+	srv := NewServer(2, store.NewMemory(), 0)
 	defer srv.Stop()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -347,7 +347,7 @@ var errDiskFull = fmt.Errorf("disk full")
 // the operator's signal that resume-by-resubmission will NOT find
 // these cells in the store.
 func TestServerSurfacesStoreErrors(t *testing.T) {
-	srv := NewServer(2, failingSaveStore{})
+	srv := NewServer(2, failingSaveStore{}, 0)
 	defer srv.Stop()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -374,7 +374,7 @@ func TestServerSurfacesStoreErrors(t *testing.T) {
 
 // TestServerRejectsBadSubmissions pins the validation surface.
 func TestServerRejectsBadSubmissions(t *testing.T) {
-	srv := NewServer(1, store.NewMemory())
+	srv := NewServer(1, store.NewMemory(), 0)
 	defer srv.Stop()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -434,7 +434,7 @@ func TestServerRejectsBadSubmissions(t *testing.T) {
 // TestServerStoreStats checks the /store endpoint against the expected
 // counters after a cold and a warm matrix.
 func TestServerStoreStats(t *testing.T) {
-	srv := NewServer(2, store.NewMemory())
+	srv := NewServer(2, store.NewMemory(), 0)
 	defer srv.Stop()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()

@@ -1,0 +1,335 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"krum/scenario"
+	"krum/scenario/shardproto"
+	"krum/scenario/store"
+)
+
+// errVersionMismatch marks a join rejected for carrying the wrong
+// result-semantics version — fatal, unlike transient join failures.
+var errVersionMismatch = errors.New("worker: coordinator rejected our version")
+
+// Worker is the worker half of sharded scenario execution
+// (krum-scenariod -worker -join <coordinator>): it joins a
+// coordinator's fleet, long-polls for cell tasks across Slots
+// concurrent loops, executes each via scenario.RunCell against the
+// local engine, heartbeats while a cell trains (polling is blocked
+// then, so heartbeats are the only liveness signal), and reports the
+// stable-JSON distsgd.Result back. Because cells are pure functions of
+// their specs, a worker adds capacity without adding any source of
+// nondeterminism — results are byte-identical wherever a cell lands.
+//
+// A worker whose lease expired (a long GC pause, a partition, a
+// delayed heartbeat) is told so by HTTP 410 on its next message; it
+// rejoins under a fresh identity and carries on. Any result it reports
+// for a task that was reassigned meanwhile is answered Accepted=false
+// and dropped.
+type Worker struct {
+	// Coordinator is the coordinator's base URL, e.g.
+	// "http://host:8080".
+	Coordinator string
+	// Slots is the number of concurrent poll-execute loops (0 means 1).
+	Slots int
+	// Store, when non-nil, is the worker's local result cache: hits
+	// skip training, fresh results are written through. It is
+	// independent of the coordinator's store (which persists every
+	// accepted result regardless).
+	Store scenario.ResultStore
+	// Client is the HTTP client used for all coordinator calls (nil
+	// means a default with no overall timeout — polls are long).
+	Client *http.Client
+	// HeartbeatEvery overrides the mid-cell heartbeat cadence (0 means
+	// a third of the coordinator's lease).
+	HeartbeatEvery time.Duration
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+
+	mu    sync.Mutex
+	id    string
+	token string
+	lease time.Duration
+	// executed counts cells this worker finished running (whether or
+	// not the coordinator accepted the report).
+	executed int
+}
+
+// Executed reports how many dispatched cells this worker has finished
+// executing — an observability counter for operators (and tests)
+// verifying that work actually landed on the fleet.
+func (w *Worker) Executed() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.executed
+}
+
+// logf forwards to Logf when set.
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// client returns the configured HTTP client.
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+// post sends one protocol message and returns the status code and
+// (bounded) response body.
+func (w *Worker) post(ctx context.Context, path string, msg any) (int, []byte, error) {
+	blob, err := json.Marshal(msg)
+	if err != nil {
+		return 0, nil, fmt.Errorf("encoding %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(blob))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := shardproto.ReadBody(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// join acquires a fleet identity, replacing stale (the id the caller
+// observed failing; join is a no-op when another loop already
+// rejoined).
+func (w *Worker) join(ctx context.Context, stale string) error {
+	w.mu.Lock()
+	if w.id != "" && w.id != stale {
+		w.mu.Unlock()
+		return nil
+	}
+	w.mu.Unlock()
+	status, body, err := w.post(ctx, "/fleet/join",
+		shardproto.JoinRequest{Slots: w.slots(), Version: store.Version})
+	if err != nil {
+		return fmt.Errorf("joining %s: %w", w.Coordinator, err)
+	}
+	if status == http.StatusConflict {
+		return fmt.Errorf("joining %s: %s: %w", w.Coordinator, body, errVersionMismatch)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("joining %s: status %d: %s", w.Coordinator, status, body)
+	}
+	grant, err := shardproto.DecodeJoinResponse(body)
+	if err != nil {
+		return fmt.Errorf("joining %s: %w", w.Coordinator, err)
+	}
+	w.mu.Lock()
+	w.id = grant.WorkerID
+	w.token = grant.Token
+	w.lease = time.Duration(grant.LeaseMillis) * time.Millisecond
+	w.mu.Unlock()
+	w.logf("joined %s as %s (lease %dms)", w.Coordinator, grant.WorkerID, grant.LeaseMillis)
+	return nil
+}
+
+// slots returns the effective loop count.
+func (w *Worker) slots() int {
+	if w.Slots <= 0 {
+		return 1
+	}
+	return w.Slots
+}
+
+// identity snapshots the current fleet id, token and lease.
+func (w *Worker) identity() (id, token string, lease time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id, w.token, w.lease
+}
+
+// Run joins the fleet and serves until ctx is cancelled. Transient
+// join failures (coordinator not up yet, a partition) are retried —
+// only a version rejection is fatal, because no amount of retrying
+// makes an old binary's results safe to persist. Cells already
+// executing when ctx falls are finished but their results are
+// discarded unreported — indistinguishable, to the coordinator, from
+// the process dying, which is the point: shutdown exercises the same
+// reassignment path as a crash.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		err := w.join(ctx, "")
+		if err == nil {
+			break
+		}
+		if errors.Is(err, errVersionMismatch) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		w.logf("join: %v (retrying)", err)
+		w.pause(ctx, 500*time.Millisecond)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < w.slots(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				w.pollOnce(ctx)
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// pollOnce performs one poll → (maybe) execute → report cycle.
+func (w *Worker) pollOnce(ctx context.Context) {
+	id, token, lease := w.identity()
+	status, body, err := w.post(ctx, "/fleet/poll", shardproto.PollRequest{WorkerID: id, Token: token})
+	if err != nil {
+		if ctx.Err() == nil {
+			w.logf("poll: %v (retrying)", err)
+			w.pause(ctx, lease/4)
+		}
+		return
+	}
+	switch status {
+	case http.StatusOK:
+	case http.StatusGone:
+		w.logf("lease expired; rejoining")
+		if err := w.join(ctx, id); err != nil && ctx.Err() == nil {
+			w.logf("rejoin: %v (retrying)", err)
+			w.pause(ctx, lease/4)
+		}
+		return
+	default:
+		if ctx.Err() == nil {
+			w.logf("poll: status %d: %s (retrying)", status, body)
+			w.pause(ctx, lease/4)
+		}
+		return
+	}
+	poll, err := shardproto.DecodePollResponse(body)
+	if err != nil {
+		w.logf("poll: %v (retrying)", err)
+		w.pause(ctx, lease/4)
+		return
+	}
+	if poll.Task == nil {
+		return // idle window; the poll itself refreshed the lease
+	}
+	w.executeTask(ctx, poll.Task)
+}
+
+// pause sleeps without outliving ctx.
+func (w *Worker) pause(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(d):
+	}
+}
+
+// executeTask runs one dispatched cell with mid-cell heartbeats and
+// reports the outcome.
+func (w *Worker) executeTask(ctx context.Context, task *shardproto.Task) {
+	id, token, lease := w.identity()
+	every := w.HeartbeatEvery
+	if every <= 0 {
+		every = lease / 3
+		if every <= 0 {
+			every = time.Second
+		}
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-ticker.C:
+				if _, _, err := w.post(hbCtx, "/fleet/heartbeat",
+					shardproto.HeartbeatRequest{WorkerID: id, Token: token, TaskID: task.ID}); err != nil && hbCtx.Err() == nil {
+					w.logf("heartbeat: %v", err)
+				}
+			}
+		}
+	}()
+
+	w.logf("executing %s (%s)", task.ID, task.Spec.Label())
+	cr := scenario.RunCell(w.Store, 0, task.Spec)
+	stopHB()
+	hbWG.Wait()
+	w.mu.Lock()
+	w.executed++
+	w.mu.Unlock()
+	if ctx.Err() != nil {
+		return // dying mid-cell: report nothing, let the lease expire
+	}
+
+	report := shardproto.ResultRequest{WorkerID: id, Token: token, TaskID: task.ID}
+	if cr.Err != nil {
+		report.Error = cr.Err.Error()
+	} else {
+		raw, err := json.Marshal(cr.Result)
+		if err != nil {
+			report.Error = fmt.Sprintf("encoding result: %v", err)
+		} else {
+			report.Result = raw
+		}
+	}
+	// Retry transient transport failures a few times before giving the
+	// result up: losing it only costs a recompute (the task's deadline
+	// expires and the coordinator reassigns), but a recompute is far
+	// more expensive than a resend.
+	for attempt := 1; ; attempt++ {
+		status, body, err := w.post(ctx, "/fleet/result", report)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if attempt >= 3 {
+				w.logf("reporting %s: %v (giving up; the coordinator will reassign)", task.ID, err)
+				return
+			}
+			w.logf("reporting %s: %v (retrying)", task.ID, err)
+			w.pause(ctx, lease/4)
+			continue
+		}
+		if status != http.StatusOK {
+			w.logf("reporting %s: status %d: %s", task.ID, status, body)
+			return
+		}
+		var resp shardproto.ResultResponse
+		if err = json.Unmarshal(body, &resp); err != nil {
+			w.logf("reporting %s: %v", task.ID, err)
+			return
+		}
+		if !resp.Accepted {
+			w.logf("%s was reassigned; dropping duplicate result", task.ID)
+		}
+		return
+	}
+}

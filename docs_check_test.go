@@ -6,9 +6,9 @@ package krum_test
 // the user-facing docs AND still round-trips through its parser, so
 // the spec tables in README.md and EXPERIMENTS.md cannot silently rot;
 // TestDocsExportedIdentifiers is a doc-comment lint over the packages
-// this repository added most recently (scenario/store and
-// cmd/krum-scenariod): every exported identifier, struct field
-// included, must carry a doc comment.
+// this repository added most recently (scenario/store,
+// scenario/shardproto and cmd/krum-scenariod): every exported
+// identifier, struct field included, must carry a doc comment.
 
 import (
 	"go/ast"
@@ -138,7 +138,7 @@ func TestDocsRegistryBuiltins(t *testing.T) {
 
 // lintedPackages are the directories held to the every-exported-
 // identifier-documented standard.
-var lintedPackages = []string{"scenario/store", "cmd/krum-scenariod"}
+var lintedPackages = []string{"scenario/store", "scenario/shardproto", "cmd/krum-scenariod"}
 
 // TestDocsExportedIdentifiers fails for any exported declaration in
 // the linted packages — function, method, type, const, var, or struct

@@ -37,14 +37,52 @@ type AblationResult struct {
 	Rows []AblationRow
 }
 
+// auxKindAblation is the store record kind for E6 Monte-Carlo cells.
+const auxKindAblation = "ablation"
+
+// ablationCellRecord is the store payload of one E6 cell. It mirrors
+// AblationRow except that the untracked selection rate travels as a
+// Tracked flag instead of NaN (plain JSON has no NaN literal).
+type ablationCellRecord struct {
+	// Rule is the canonical rule name of the row.
+	Rule string `json:"rule"`
+	// CoordError mirrors AblationRow.CoordError.
+	CoordError float64 `json:"coord_error"`
+	// RestError mirrors AblationRow.RestError.
+	RestError float64 `json:"rest_error"`
+	// Tracked reports the rule implements selection; ByzSelectedRate is
+	// meaningful only then (NaN otherwise on decode).
+	Tracked bool `json:"tracked"`
+	// ByzSelectedRate is the selection rate when Tracked.
+	ByzSelectedRate float64 `json:"byz_selected_rate"`
+}
+
+// row converts the record back to the NaN-sentineled result row.
+func (r ablationCellRecord) row() AblationRow {
+	out := AblationRow{
+		Rule:            r.Rule,
+		CoordError:      r.CoordError,
+		RestError:       r.RestError,
+		ByzSelectedRate: math.NaN(),
+	}
+	if r.Tracked {
+		out.ByzSelectedRate = r.ByzSelectedRate
+	}
+	return out
+}
+
 // RunAblation executes E6: Monte-Carlo aggregation under
 // attack.HiddenCoordinate across all rules, measuring per-coordinate
-// damage rather than selection alone.
+// damage rather than selection alone. Each cell draws from its own
+// derived-seed RNG (DeriveSeeds decorrelates the rules' streams), so a
+// cell is a pure function of its spec plus (d, coord, trials) — which
+// is what lets a configured result store (SetStore) cache the cells
+// and replay a warm rerun with zero Monte-Carlo work.
 func RunAblation(w io.Writer, scale Scale, seed uint64) (*AblationResult, error) {
 	const n, f, d = 11, 2, 60 // n ≥ 4f+3 for Bulyan
 	const coord = 7
 	trials := pick(scale, 300, 2000)
-	rng := vec.NewRNG(seed)
+	auxParams := fmt.Sprintf("d=%d,coord=%d,trials=%d", d, coord, trials)
 
 	// The rule sweep is a scenario matrix over registry specs; the
 	// hidden-coordinate attack is a spec too, so this path contains no
@@ -63,6 +101,7 @@ func RunAblation(w io.Writer, scale Scale, seed uint64) (*AblationResult, error)
 			"trimmedmean",
 			"geomedian",
 		},
+		DeriveSeeds: true,
 	}
 
 	res := &AblationResult{N: n, F: f, D: d}
@@ -76,6 +115,12 @@ func RunAblation(w io.Writer, scale Scale, seed uint64) (*AblationResult, error)
 		if err != nil {
 			return nil, fmt.Errorf("attack %q: %w", cell.Attack, err)
 		}
+		var cached ablationCellRecord
+		if lookupAuxCell(auxKindAblation, cell, auxParams, &cached) {
+			res.Rows = append(res.Rows, cached.row())
+			continue
+		}
+		rng := vec.NewRNG(cell.Seed)
 		var coordErr, restErr float64
 		hits, tracked := 0, 0
 		for trial := 0; trial < trials; trial++ {
@@ -117,16 +162,17 @@ func RunAblation(w io.Writer, scale Scale, seed uint64) (*AblationResult, error)
 				}
 			}
 		}
-		row := AblationRow{
-			Rule:            rule.Name(),
-			CoordError:      coordErr / float64(trials),
-			RestError:       restErr / float64(trials*(d-1)),
-			ByzSelectedRate: math.NaN(),
+		rec := ablationCellRecord{
+			Rule:       rule.Name(),
+			CoordError: coordErr / float64(trials),
+			RestError:  restErr / float64(trials*(d-1)),
 		}
 		if tracked > 0 {
-			row.ByzSelectedRate = float64(hits) / float64(tracked)
+			rec.Tracked = true
+			rec.ByzSelectedRate = float64(hits) / float64(tracked)
 		}
-		res.Rows = append(res.Rows, row)
+		saveAuxCell(w, auxKindAblation, cell, auxParams, rec)
+		res.Rows = append(res.Rows, rec.row())
 	}
 
 	section(w, "E6 (extension) — hidden-coordinate attack: Krum vs Bulyan ablation")

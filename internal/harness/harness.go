@@ -13,6 +13,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -44,6 +45,59 @@ func SetStore(st scenario.ResultStore) { cellStore = st }
 // opt out of the store.
 func newRunner() *scenario.Runner {
 	return &scenario.Runner{Store: cellStore}
+}
+
+// auxResultStore is the optional store extension for Monte-Carlo cells
+// (table1's selection rates, the ablation's coordinate errors): pure
+// functions of a partial spec plus a parameter string rather than of a
+// full distsgd run. scenario/store's Store implements it; a plain
+// scenario.ResultStore leaves Monte-Carlo experiments uncached.
+type auxResultStore interface {
+	// LookupAux returns the stored payload for (kind, spec, params).
+	LookupAux(kind string, spec scenario.Spec, params string) (json.RawMessage, bool)
+	// SaveAux persists a payload under (kind, spec, params).
+	SaveAux(kind string, spec scenario.Spec, params string, result json.RawMessage) error
+}
+
+// auxStore returns the configured store's Monte-Carlo surface, or nil.
+func auxStore() auxResultStore {
+	if as, ok := cellStore.(auxResultStore); ok {
+		return as
+	}
+	return nil
+}
+
+// lookupAuxCell decodes a cached Monte-Carlo cell into out, reporting
+// whether a valid entry existed. Any failure is a miss: the cell
+// recomputes, which is always safe.
+func lookupAuxCell(kind string, spec scenario.Spec, params string, out any) bool {
+	as := auxStore()
+	if as == nil {
+		return false
+	}
+	raw, ok := as.LookupAux(kind, spec, params)
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
+
+// saveAuxCell persists a freshly-computed Monte-Carlo cell. A store
+// failure is reported on the experiment's writer — the result is still
+// valid, only its persistence failed (the same non-fatal treatment
+// scenario.CellResult.StoreErr gets).
+func saveAuxCell(w io.Writer, kind string, spec scenario.Spec, params string, v any) {
+	as := auxStore()
+	if as == nil {
+		return
+	}
+	raw, err := json.Marshal(v)
+	if err == nil {
+		err = as.SaveAux(kind, spec, params, raw)
+	}
+	if err != nil {
+		fmt.Fprintf(w, "warning: storing %s cell: %v\n", kind, err)
+	}
 }
 
 // Scale selects experiment size: Quick runs in seconds (CI, tests,

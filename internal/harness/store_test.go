@@ -1,0 +1,132 @@
+package harness
+
+// Monte-Carlo store coverage: table1 and ablation cells are pure
+// functions of (partial spec, parameter string), so a configured
+// scenario/store caches them like any distsgd cell. The warm-rerun
+// test is the ROADMAP acceptance proof: a second run performs ZERO
+// Monte-Carlo recomputation (witnessed by the distance-matrix build
+// counter staying flat — every selector rule's Select builds matrices
+// when it actually runs) and reproduces the cold results exactly.
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"krum/internal/vec"
+	"krum/scenario/store"
+)
+
+// sameFloat compares result floats with NaN == NaN (the untracked
+// selection-rate sentinel).
+func sameFloat(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b
+}
+
+func TestMonteCarloCellsWarmRerun(t *testing.T) {
+	st := store.NewMemory()
+	SetStore(st)
+	defer SetStore(nil)
+
+	coldBuilds := vec.MatrixBuildCount()
+	coldT1, err := RunTable1(io.Discard, Quick, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldE6, err := RunAblation(io.Discard, Quick, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := vec.MatrixBuildCount() - coldBuilds; d == 0 {
+		t.Fatal("cold Monte-Carlo runs built no distance matrices — the warm zero-rebuild assertion below would be vacuous")
+	}
+	stats := st.Stats()
+	if stats.Entries != len(coldT1.Cells)+len(coldE6.Rows) {
+		t.Fatalf("cold runs stored %d entries, want %d cells + %d rows",
+			stats.Entries, len(coldT1.Cells), len(coldE6.Rows))
+	}
+
+	builds := vec.MatrixBuildCount()
+	warmT1, err := RunTable1(io.Discard, Quick, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmE6, err := RunAblation(io.Discard, Quick, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := vec.MatrixBuildCount() - builds; d != 0 {
+		t.Errorf("warm rerun built %d distance matrices, want 0 (cells recomputed)", d)
+	}
+	if hits := st.Stats().Hits - stats.Hits; hits != len(coldT1.Cells)+len(coldE6.Rows) {
+		t.Errorf("warm rerun hit the store %d times, want every cell (%d)",
+			hits, len(coldT1.Cells)+len(coldE6.Rows))
+	}
+
+	if len(warmT1.Cells) != len(coldT1.Cells) {
+		t.Fatalf("warm table1 has %d cells, cold %d", len(warmT1.Cells), len(coldT1.Cells))
+	}
+	for i, cold := range coldT1.Cells {
+		warm := warmT1.Cells[i]
+		if warm.Attack != cold.Attack || warm.Rule != cold.Rule || !sameFloat(warm.ByzSelectedRate, cold.ByzSelectedRate) {
+			t.Errorf("table1 cell %d: warm %+v != cold %+v", i, warm, cold)
+		}
+	}
+	if len(warmE6.Rows) != len(coldE6.Rows) {
+		t.Fatalf("warm ablation has %d rows, cold %d", len(warmE6.Rows), len(coldE6.Rows))
+	}
+	for i, cold := range coldE6.Rows {
+		warm := warmE6.Rows[i]
+		if warm.Rule != cold.Rule || !sameFloat(warm.CoordError, cold.CoordError) ||
+			!sameFloat(warm.RestError, cold.RestError) || !sameFloat(warm.ByzSelectedRate, cold.ByzSelectedRate) {
+			t.Errorf("ablation row %d: warm %+v != cold %+v", i, warm, cold)
+		}
+	}
+}
+
+// TestMonteCarloCellsSurviveReload pins that aux records round-trip
+// through the JSONL file: a second process (a fresh Open on the same
+// path) serves the same cells without recomputation.
+func TestMonteCarloCellsSurviveReload(t *testing.T) {
+	path := t.TempDir() + "/cells.jsonl"
+	st1, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetStore(st1)
+	defer SetStore(nil)
+	cold, err := RunAblation(io.Discard, Quick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if skipped := st2.Stats().SkippedRecords; skipped != 0 {
+		t.Fatalf("reload skipped %d records", skipped)
+	}
+	SetStore(st2)
+	builds := vec.MatrixBuildCount()
+	warm, err := RunAblation(io.Discard, Quick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := vec.MatrixBuildCount() - builds; d != 0 {
+		t.Errorf("reloaded store recomputed (built %d matrices)", d)
+	}
+	for i, c := range cold.Rows {
+		w := warm.Rows[i]
+		if w.Rule != c.Rule || !sameFloat(w.CoordError, c.CoordError) || !sameFloat(w.RestError, c.RestError) {
+			t.Errorf("row %d: reloaded %+v != cold %+v", i, w, c)
+		}
+	}
+}

@@ -11,6 +11,9 @@ import (
 	"krum/scenario"
 )
 
+// auxKindTable1 is the store record kind for T1 Monte-Carlo cells.
+const auxKindTable1 = "table1"
+
 // Table1Cell is one (attack, rule) measurement.
 type Table1Cell struct {
 	// Attack and Rule identify the cell (canonical registry spec
@@ -56,10 +59,14 @@ func Table1Matrix(seed uint64) scenario.Matrix {
 // RunTable1 measures how often each selection rule picks a Byzantine
 // proposal under each attack, at the aggregation level (tight correct
 // cluster, unit-scale gradients). The grid comes from Table1Matrix;
-// each cell runs its own deterministically-seeded Monte-Carlo loop.
+// each cell runs its own deterministically-seeded Monte-Carlo loop —
+// a pure function of its spec plus (d, trials), which is what lets a
+// configured result store (SetStore) cache the cells: a warm rerun
+// replays every cell with zero Monte-Carlo work.
 func RunTable1(w io.Writer, scale Scale, seed uint64) (*Table1Result, error) {
 	const d = 12
 	trials := pick(scale, 200, 2000)
+	auxParams := fmt.Sprintf("d=%d,trials=%d", d, trials)
 
 	m := Table1Matrix(seed)
 	n, f := m.Base.N, m.Base.F
@@ -75,6 +82,11 @@ func RunTable1(w io.Writer, scale Scale, seed uint64) (*Table1Result, error) {
 		}
 		sel, ok := rule.(core.Selector)
 		if !ok {
+			continue
+		}
+		var cached Table1Cell
+		if lookupAuxCell(auxKindTable1, cell, auxParams, &cached) {
+			res.Cells = append(res.Cells, cached)
 			continue
 		}
 		rng := vec.NewRNG(cell.Seed)
@@ -107,11 +119,13 @@ func RunTable1(w io.Writer, scale Scale, seed uint64) (*Table1Result, error) {
 				}
 			}
 		}
-		res.Cells = append(res.Cells, Table1Cell{
+		computed := Table1Cell{
 			Attack:          atk.Name(),
 			Rule:            rule.Name(),
 			ByzSelectedRate: float64(hits) / float64(trials),
-		})
+		}
+		saveAuxCell(w, auxKindTable1, cell, auxParams, computed)
+		res.Cells = append(res.Cells, computed)
 	}
 
 	section(w, "T1 — Byzantine-selection rate per (attack × rule)")

@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"krum/distsgd"
+)
+
+// CellExecutor runs one matrix cell and returns its outcome. It is the
+// seam that lets a Runner (and the krum-scenariod service) execute
+// cells somewhere other than the calling process: the default
+// LocalExecutor compiles and trains in-process, while the scenariod
+// coordinator's executor dispatches cells over HTTP to a worker fleet.
+// Implementations must be safe for concurrent use (Runner calls
+// ExecuteCell from multiple goroutines) and must preserve the cell
+// purity contract: the returned Result depends only on the Spec, so
+// local and remote execution of one cell are byte-identical under
+// distsgd.Result's stable JSON encoding.
+type CellExecutor interface {
+	// ExecuteCell runs cell and returns its CellResult with Index set to
+	// index (the position the caller will slot the result into).
+	ExecuteCell(index int, cell Spec) CellResult
+}
+
+// LocalExecutor is the default CellExecutor: it consults the store,
+// compiles the cell and trains it in-process — exactly the path
+// RunCell implements. The zero value (nil Store) runs every cell cold.
+type LocalExecutor struct {
+	// Store, when non-nil, is consulted before computing and written
+	// through after (see Runner.Store for the full contract).
+	Store ResultStore
+}
+
+// ExecuteCell implements CellExecutor via RunCell.
+func (e LocalExecutor) ExecuteCell(index int, cell Spec) CellResult {
+	return RunCell(e.Store, index, cell)
+}
+
+// SingleFlighter is an optional ResultStore extension (implemented by
+// scenario/store's Store): DoCell collapses concurrent executions of
+// identical cell specs into one compute — when several callers submit
+// the same key while no result is stored yet, exactly one runs compute
+// and the rest wait for its outcome. RunCellWith routes through it
+// automatically, so any Runner or service sharing a single-flight
+// store deduplicates in-flight work across goroutines, matrices and
+// (via the scenariod coordinator) worker processes.
+type SingleFlighter interface {
+	// DoCell returns the cell's result, computing it via compute at most
+	// once per key across concurrent callers. shared reports that the
+	// result arrived without invoking compute in this call (a store hit
+	// or another caller's in-flight execution); storeErr is a failed
+	// write-through (the result is still valid); runErr is compute's
+	// failure, propagated to every waiter.
+	DoCell(spec Spec, compute func() (*distsgd.Result, error)) (res *distsgd.Result, shared bool, storeErr, runErr error)
+}
+
+// ComputeCell compiles and trains one cell in-process, ignoring any
+// store — the miss path of local execution, and the compute function a
+// scenariod worker runs for dispatched cells.
+func ComputeCell(cell Spec) (*distsgd.Result, error) {
+	cfg, err := cell.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return distsgd.Run(cfg)
+}
+
+// RunCellWith executes one cell through the store protocol with a
+// caller-supplied compute function standing in for local training: it
+// consults the store, invokes compute on a miss (through the store's
+// single-flight when available, so concurrent identical cells collapse
+// to one compute) and writes the result through. It is the shared
+// machinery between local execution (RunCell) and the scenariod
+// coordinator, whose compute dispatches the cell to a worker fleet.
+func RunCellWith(st ResultStore, index int, cell Spec, compute func() (*distsgd.Result, error)) CellResult {
+	cr := CellResult{Index: index, Spec: cell}
+	if sf, ok := st.(SingleFlighter); ok {
+		cr.Result, cr.Cached, cr.StoreErr, cr.Err = sf.DoCell(cell, compute)
+		return cr
+	}
+	if st != nil {
+		if res, ok := st.Lookup(cell); ok {
+			cr.Result = res
+			cr.Cached = true
+			return cr
+		}
+	}
+	cr.Result, cr.Err = compute()
+	if cr.Err == nil && st != nil {
+		cr.StoreErr = st.Save(cell, cr.Result)
+	}
+	return cr
+}

@@ -45,11 +45,12 @@ type CellResult struct {
 	Result *distsgd.Result
 	// Err is the cell's failure, if any; other cells still run.
 	Err error
-	// Cached reports that Result was served from the runner's
-	// ResultStore instead of being computed. Cached results are
-	// byte-identical (under distsgd.Result's stable JSON encoding) to
-	// what a fresh run would produce — the store key covers every
-	// result-affecting Spec field.
+	// Cached reports that Result was served without executing the cell
+	// in this call: a ResultStore hit, or — under a single-flight store —
+	// another caller's concurrent execution of the same cell. Either
+	// way the result is byte-identical (under distsgd.Result's stable
+	// JSON encoding) to what a fresh run would produce — the store key
+	// covers every result-affecting Spec field.
 	Cached bool
 	// StoreErr records a failed write-through to the ResultStore. It is
 	// non-fatal: Result is still the valid computed outcome, only its
@@ -74,10 +75,17 @@ type Runner struct {
 	// cell and writes the result through. Because cells are pure
 	// functions of their Spec, hit results equal computed results; the
 	// runner's ordering and determinism guarantees are unchanged by the
-	// store. Two concurrent identical cells may both miss and both
-	// compute — results being identical, the duplicate write is
-	// harmless (last write wins).
+	// store. When the store implements SingleFlighter (scenario/store's
+	// Store does), two concurrent identical cells collapse to one
+	// execution; with a plain store both may miss and both compute —
+	// results being identical, the duplicate write is harmless (last
+	// write wins).
 	Store ResultStore
+	// Executor, when non-nil, runs cells in place of the default local
+	// path (LocalExecutor{Store: r.Store}) — e.g. the scenariod
+	// coordinator's fleet dispatcher. A custom Executor owns its own
+	// store consultation, so Store is ignored when it is set.
+	Executor CellExecutor
 }
 
 // Run expands the matrix and executes every cell. The returned slice is
@@ -112,6 +120,10 @@ func (r *Runner) RunCells(cells []Spec) ([]CellResult, error) {
 		workers = len(cells)
 	}
 
+	exec := r.Executor
+	if exec == nil {
+		exec = LocalExecutor{Store: r.Store}
+	}
 	results := make([]CellResult, len(cells))
 	idx := make(chan int)
 	var cbMu sync.Mutex
@@ -121,7 +133,7 @@ func (r *Runner) RunCells(cells []Spec) ([]CellResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				cr := RunCell(r.Store, i, cells[i])
+				cr := exec.ExecuteCell(i, cells[i])
 				results[i] = cr
 				if r.OnCell != nil {
 					cbMu.Lock()
@@ -150,26 +162,13 @@ func (r *Runner) RunCells(cells []Spec) ([]CellResult, error) {
 }
 
 // RunCell executes one cell exactly as Runner does: consult the store
-// (st may be nil), on a miss compile and train, then write the result
-// through. It is the shared single-cell path between Runner and the
-// krum-scenariod service's cross-matrix worker pool.
+// (st may be nil), on a miss compile and train in-process (collapsing
+// concurrent identical cells to one execution when the store
+// single-flights), then write the result through. It is the shared
+// single-cell path between Runner, the krum-scenariod service's
+// cross-matrix pool, and scenariod workers executing dispatched cells.
 func RunCell(st ResultStore, index int, cell Spec) CellResult {
-	cr := CellResult{Index: index, Spec: cell}
-	if st != nil {
-		if res, ok := st.Lookup(cell); ok {
-			cr.Result = res
-			cr.Cached = true
-			return cr
-		}
-	}
-	cfg, err := cell.Compile()
-	if err != nil {
-		cr.Err = err
-		return cr
-	}
-	cr.Result, cr.Err = distsgd.Run(cfg)
-	if cr.Err == nil && st != nil {
-		cr.StoreErr = st.Save(cell, cr.Result)
-	}
-	return cr
+	return RunCellWith(st, index, cell, func() (*distsgd.Result, error) {
+		return ComputeCell(cell)
+	})
 }

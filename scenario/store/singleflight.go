@@ -1,0 +1,146 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"krum/distsgd"
+	"krum/scenario"
+)
+
+// Single-flight: in-flight execution dedup, the store-level complement
+// of content addressing. Content addressing makes a COMPLETED cell
+// free to repeat; single-flight makes an IN-PROGRESS cell free to
+// repeat — when several callers submit the same key while no result is
+// stored yet (two overlapping matrices, N racing goroutines, a fleet
+// of scenariod workers pulling from one coordinator), exactly one
+// "leader" computes and every "follower" waits for the leader's bytes.
+// The result a follower receives is byte-identical to the leader's
+// under distsgd.Result's stable encoding, because both decode the same
+// stored raw message.
+
+// flight is one in-progress execution. The leader publishes raw (or
+// err) before closing done; followers block on done and then read —
+// the close is the happens-before edge that makes the fields safe to
+// read without the store lock.
+type flight struct {
+	done chan struct{}
+	// raw is the leader's stable-encoded result (nil when err is set).
+	raw json.RawMessage
+	// err is the leader's compute failure, propagated to every waiter.
+	err error
+}
+
+// DoCell implements scenario.SingleFlighter: it returns the cell's
+// result, computing it via compute at most once per key across
+// concurrent callers. The decision sequence under one lock acquisition
+// is index (stored result → hit), then flights (someone is computing →
+// wait), then leader (register a flight and compute). The leader
+// encodes its result once, persists it through the ordinary append
+// path (a failure is reported as storeErr, never as a result error)
+// and hands the same bytes to every follower, so all callers decode
+// identical raw messages. Compute failures are not cached: the flight
+// is removed before waiters are released, so a later submission of the
+// same key re-executes.
+func (s *Store) DoCell(spec scenario.Spec, compute func() (*distsgd.Result, error)) (res *distsgd.Result, shared bool, storeErr, runErr error) {
+	c, err := Canonical(spec)
+	var key string
+	if err == nil {
+		key, err = keyOfCanonical(c)
+	}
+	if err != nil {
+		// Unkeyable specs cannot be deduplicated or persisted: compute
+		// directly, and surface the key failure as a store problem only
+		// when there is a result whose persistence it prevented.
+		res, runErr = compute()
+		if runErr != nil {
+			return nil, false, nil, runErr
+		}
+		return res, false, err, nil
+	}
+
+	s.mu.Lock()
+	if raw, ok := s.index[key]; ok {
+		s.mu.Unlock()
+		if res, shared, _, err := decodeShared(raw); err == nil {
+			s.mu.Lock()
+			s.stats.Hits++
+			s.mu.Unlock()
+			return res, shared, nil, nil
+		}
+		// An undecodable index entry is a miss, same as Lookup's
+		// contract: recompute (without dedup — the entry shadows the
+		// flight table for this key anyway) and write the repaired
+		// result back so the corruption heals instead of taxing every
+		// future warm run.
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		res, runErr = compute()
+		if runErr != nil {
+			return nil, false, nil, runErr
+		}
+		fresh, err := json.Marshal(res)
+		if err != nil {
+			return res, false, fmt.Errorf("encoding result: %w: %w", err, ErrStore), nil
+		}
+		return res, false, s.appendRecord(record{Key: key, Version: Version, Spec: c, Result: fresh}), nil
+	}
+	if f, ok := s.flights[key]; ok {
+		s.stats.FlightWaits++
+		s.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, nil, f.err
+		}
+		return decodeShared(f.raw)
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.stats.Misses++
+	s.mu.Unlock()
+
+	res, runErr = compute()
+	if runErr != nil {
+		f.err = runErr
+		s.removeFlight(key)
+		close(f.done)
+		return nil, false, nil, runErr
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		// The result exists but cannot be encoded, so neither the store
+		// nor the followers can be served; the leader still returns it.
+		f.err = fmt.Errorf("encoding result: %w: %w", err, ErrStore)
+		s.removeFlight(key)
+		close(f.done)
+		return res, false, f.err, nil
+	}
+	storeErr = s.appendRecord(record{Key: key, Version: Version, Spec: c, Result: raw})
+	// Publish to followers only after the index holds the result (via
+	// appendRecord) — a new submission arriving between flight removal
+	// and done-close then hits the index instead of starting a second
+	// compute. A failed append still publishes: the bytes are valid,
+	// only their persistence failed.
+	f.raw = raw
+	s.removeFlight(key)
+	close(f.done)
+	return res, false, storeErr, nil
+}
+
+// removeFlight drops a finished flight from the in-flight table.
+func (s *Store) removeFlight(key string) {
+	s.mu.Lock()
+	delete(s.flights, key)
+	s.mu.Unlock()
+}
+
+// decodeShared decodes a stored raw message into a caller-private
+// result, with the shared flag set: the caller did not compute it.
+func decodeShared(raw json.RawMessage) (*distsgd.Result, bool, error, error) {
+	res := new(distsgd.Result)
+	if err := json.Unmarshal(raw, res); err != nil {
+		return nil, false, nil, fmt.Errorf("decoding shared result: %w: %w", err, ErrStore)
+	}
+	return res, true, nil, nil
+}

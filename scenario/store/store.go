@@ -156,11 +156,19 @@ func keyOfCanonical(c scenario.Spec) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("marshaling spec for hashing: %w: %w", err, ErrStore)
 	}
+	return hashKey(blob), nil
+}
+
+// hashKey renders the content address of a hashed identity blob,
+// salted with Version. Cell keys hash a canonical spec's JSON and aux
+// keys an auxIdentity's JSON — the two preimage families start with
+// different JSON structure, so they cannot collide.
+func hashKey(blob []byte) string {
 	h := sha256.New()
 	h.Write([]byte(Version))
 	h.Write([]byte{'\n'})
 	h.Write(blob)
-	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
 }
 
 // record is one JSONL line.
@@ -170,10 +178,30 @@ type record struct {
 	// Version is the salt in effect at write time (informational — the
 	// salt is already baked into Key).
 	Version string `json:"version"`
+	// Kind discriminates the record family: empty for distsgd cell
+	// results (scenario.ResultStore records), a harness kind such as
+	// "table1" or "ablation" for auxiliary Monte-Carlo records (see
+	// aux.go). The kind participates in the key, so the families can
+	// never collide.
+	Kind string `json:"kind,omitempty"`
+	// Params is the auxiliary record's extra identity (trial counts,
+	// dimensions — everything result-affecting that the spec does not
+	// carry); empty for cell records.
+	Params string `json:"params,omitempty"`
 	// Spec is the canonical spec the result was computed from.
 	Spec scenario.Spec `json:"spec"`
-	// Result is the stable-encoded training outcome.
+	// Result is the stable-encoded training outcome (for cell records)
+	// or the kind-specific JSON payload (for auxiliary records).
 	Result json.RawMessage `json:"result"`
+}
+
+// deriveKey recomputes the record's content address from its stored
+// identity — the tamper/stale check Open applies to every line.
+func (r record) deriveKey() (string, error) {
+	if r.Kind == "" {
+		return Key(r.Spec)
+	}
+	return KeyAux(r.Kind, r.Spec, r.Params)
 }
 
 // Stats is a snapshot of a store's counters.
@@ -182,6 +210,10 @@ type Stats struct {
 	Entries int
 	// Hits and Misses count Lookup outcomes since Open.
 	Hits, Misses int
+	// FlightWaits counts single-flight followers since Open: DoCell
+	// calls that found the same key already executing and waited for
+	// its result instead of computing (see DoCell).
+	FlightWaits int
 	// Saves counts successful Save calls since Open.
 	Saves int
 	// SkippedRecords counts records dropped at Open time: malformed
@@ -195,8 +227,8 @@ type Stats struct {
 
 // String renders the counters in one line.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d entries, %d hits, %d misses, %d saves, %d skipped, %d tail bytes dropped",
-		s.Entries, s.Hits, s.Misses, s.Saves, s.SkippedRecords, s.DroppedTailBytes)
+	return fmt.Sprintf("%d entries, %d hits, %d misses, %d flight waits, %d saves, %d skipped, %d tail bytes dropped",
+		s.Entries, s.Hits, s.Misses, s.FlightWaits, s.Saves, s.SkippedRecords, s.DroppedTailBytes)
 }
 
 // Store is a content-addressed scenario result store: an in-memory
@@ -211,14 +243,20 @@ type Store struct {
 	// it so a torn fragment can never fuse with the next record.
 	offset int64
 	index  map[string]json.RawMessage
-	stats  Stats
+	// flights tracks in-progress single-flight executions by key (see
+	// singleflight.go); entries exist only while a leader is computing.
+	flights map[string]*flight
+	stats   Stats
 }
 
 // NewMemory returns a store with no backing file — the index lives and
 // dies with the process. It is the default for krum-scenariod when no
 // -store path is given, and convenient in tests and examples.
 func NewMemory() *Store {
-	return &Store{index: make(map[string]json.RawMessage)}
+	return &Store{
+		index:   make(map[string]json.RawMessage),
+		flights: make(map[string]*flight),
+	}
 }
 
 // Open opens (creating if needed) the JSONL store at path, loads every
@@ -235,7 +273,12 @@ func Open(path string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("opening %s: %w: %w", path, err, ErrStore)
 	}
-	s := &Store{path: path, file: f, index: make(map[string]json.RawMessage)}
+	s := &Store{
+		path:    path,
+		file:    f,
+		index:   make(map[string]json.RawMessage),
+		flights: make(map[string]*flight),
+	}
 	if err := s.load(); err != nil {
 		f.Close()
 		return nil, err
@@ -286,11 +329,11 @@ func (s *Store) indexLine(line []byte) {
 		s.stats.SkippedRecords++
 		return
 	}
-	// Re-derive the key from the stored spec: a mismatch means the
+	// Re-derive the key from the stored identity: a mismatch means the
 	// record was written under a different code version (stale salt) or
 	// its spec was altered after hashing — either way serving it could
 	// be a stale result, so it is dropped and the cell recomputes.
-	key, err := Key(rec.Spec)
+	key, err := rec.deriveKey()
 	if err != nil || key != rec.Key || len(rec.Result) == 0 {
 		s.stats.SkippedRecords++
 		return
@@ -334,6 +377,17 @@ func (s *Store) Lookup(spec scenario.Spec) (*distsgd.Result, bool) {
 // file (when backed by one) and indexes it. The stored spec is the
 // canonical form, so reloads re-derive the same key.
 func (s *Store) Save(spec scenario.Spec, res *distsgd.Result) error {
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("encoding result: %w: %w", err, ErrStore)
+	}
+	return s.saveRaw(spec, raw)
+}
+
+// saveRaw persists an already-encoded result under the spec's key (the
+// single-flight leader, which has the canonical spec and key in hand
+// already, appends its record directly instead).
+func (s *Store) saveRaw(spec scenario.Spec, raw json.RawMessage) error {
 	c, err := Canonical(spec)
 	if err != nil {
 		return fmt.Errorf("canonicalizing spec: %w", err)
@@ -342,11 +396,13 @@ func (s *Store) Save(spec scenario.Spec, res *distsgd.Result) error {
 	if err != nil {
 		return err
 	}
-	raw, err := json.Marshal(res)
-	if err != nil {
-		return fmt.Errorf("encoding result: %w: %w", err, ErrStore)
-	}
-	line, err := json.Marshal(record{Key: key, Version: Version, Spec: c, Result: raw})
+	return s.appendRecord(record{Key: key, Version: Version, Spec: c, Result: raw})
+}
+
+// appendRecord writes one validated record to the file (when backed by
+// one) and indexes it.
+func (s *Store) appendRecord(rec record) error {
+	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("encoding record: %w: %w", err, ErrStore)
 	}
@@ -371,7 +427,7 @@ func (s *Store) Save(spec scenario.Spec, res *distsgd.Result) error {
 		}
 		s.offset += int64(len(line))
 	}
-	s.index[key] = raw
+	s.index[rec.Key] = rec.Result
 	s.stats.Saves++
 	return nil
 }
