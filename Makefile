@@ -2,16 +2,18 @@ GO ?= go
 
 # The tracked perf-trajectory benchmarks `make bench` records in
 # BENCH_scenario.json: the memoized Bulyan kernel, the concurrent
-# scenario-matrix runner throughput, the blocked/incremental
-# distance-matrix kernels, and the result store's warm-vs-cold grid
-# economics.
-TRACKED_BENCHES ?= BenchmarkBulyanMemoized|BenchmarkScenarioMatrixRunner|BenchmarkDistanceMatrix|BenchmarkDistanceMatrixIncremental|BenchmarkRunnerWithStore
+# scenario-matrix runner throughput, the blocked/incremental/large-n
+# distance-matrix kernels, the screened Krum selection (prune rate and
+# dot fraction as custom metrics), and the result store's warm-vs-cold
+# grid economics. The BenchmarkDistanceMatrix pattern also matches the
+# Incremental and LargeN variants.
+TRACKED_BENCHES ?= BenchmarkBulyanMemoized|BenchmarkScenarioMatrixRunner|BenchmarkDistanceMatrix|BenchmarkKrumScreened|BenchmarkRunnerWithStore
 
 # Per-target budget for the fuzz smoke pass (CI keeps it short; crank
 # it up locally for a real hunt).
 FUZZTIME ?= 10s
 
-.PHONY: check check-docs fmt vet build test race shard-tests fuzz-smoke bench bench-all
+.PHONY: check check-docs fmt vet build test race shard-tests fuzz-smoke bench bench-large bench-all
 
 # check is the CI gate: formatting, static analysis, build, the
 # race-detector pass over the full tree (race runs every test, so a
@@ -77,6 +79,17 @@ fuzz-smoke:
 # target instead of silently recording an empty trajectory.
 bench:
 	$(GO) test -run '^$$' -bench '$(TRACKED_BENCHES)' -benchmem -count 1 . > BENCH_scenario.txt
+	$(GO) run ./cmd/krum-benchjson < BENCH_scenario.txt > BENCH_scenario.json
+	@rm -f BENCH_scenario.txt
+	@cat BENCH_scenario.json
+
+# bench-large unlocks the n = 10000 tier of the screened-selection and
+# large-n kernel benchmarks (KRUM_LARGE_BENCH=1): the distance matrix
+# alone is ~800 MB and a single iteration takes minutes, so the tier is
+# opt-in rather than part of the default tracked set. Emits the same
+# BENCH_scenario.json; CI runs it as a non-blocking step.
+bench-large:
+	KRUM_LARGE_BENCH=1 $(GO) test -run '^$$' -bench 'BenchmarkKrumScreened|BenchmarkDistanceMatrixLargeN' -benchmem -count 1 -timeout 60m . > BENCH_scenario.txt
 	$(GO) run ./cmd/krum-benchjson < BENCH_scenario.txt > BENCH_scenario.json
 	@rm -f BENCH_scenario.txt
 	@cat BENCH_scenario.json

@@ -141,6 +141,16 @@ type Config struct {
 	// cache is bypassed (full rebuild) on the first round, on a shape
 	// change, and when every proposal changed.
 	Incremental bool
+	// Screened routes Krum/Multi-Krum selection through the engine's
+	// norm + triangle-inequality screening (vec.Screener): candidate
+	// rows whose score lower bound exceeds the running selection
+	// threshold are pruned without computing their distances, and every
+	// surviving row is re-checked exactly, so results are bit-identical
+	// with or without the flag. Worthwhile at large n, where pruning
+	// attacks the n² inner-product bill itself; composes with
+	// Incremental (the cached screener repairs only changed rows'
+	// bounds between rounds).
+	Screened bool
 	// N is the total number of workers; F of them are Byzantine
 	// (0 ≤ F < N).
 	N, F int
@@ -288,6 +298,9 @@ func Run(cfg Config) (*Result, error) {
 	engine := core.NewEngine(cfg.Parallel)
 	if cfg.Incremental {
 		engine.EnableCache()
+	}
+	if cfg.Screened {
+		engine.EnableScreening()
 	}
 	proposals := make([][]float64, cfg.N)
 	update := vec.GetFloats(dim)

@@ -65,25 +65,35 @@ func (k *Krum) validateN(n int) error {
 	return nil
 }
 
-// scoresInto writes the Krum score s(i) of every proposal into scores
-// (length n), reusing the context's shared distance matrix and a pooled
-// selection heap.
-func (k *Krum) scoresInto(ctx *RoundContext, scores []float64) error {
+// prepare validates the round's proposals against the rule parameters
+// and returns the neighbour count n − F − 2 of the score sum.
+func (k *Krum) prepare(ctx *RoundContext) (int, error) {
 	vectors := ctx.Vectors()
 	n := len(vectors)
 	if n == 0 {
-		return ErrNoVectors
+		return 0, ErrNoVectors
 	}
 	if err := k.validateN(n); err != nil {
-		return err
+		return 0, err
 	}
 	d := len(vectors[0])
 	for i, v := range vectors {
 		if len(v) != d {
-			return fmt.Errorf("vector %d has dimension %d, want %d: %w", i, len(v), d, ErrDimensionMismatch)
+			return 0, fmt.Errorf("vector %d has dimension %d, want %d: %w", i, len(v), d, ErrDimensionMismatch)
 		}
 	}
-	neighbours := n - k.F - 2
+	return n - k.F - 2, nil
+}
+
+// scoresInto writes the Krum score s(i) of every proposal into scores
+// (length n), reusing the context's shared distance matrix and a pooled
+// selection heap.
+func (k *Krum) scoresInto(ctx *RoundContext, scores []float64) error {
+	neighbours, err := k.prepare(ctx)
+	if err != nil {
+		return err
+	}
+	n := ctx.N()
 	ctx.EnsureParallel(k.Parallel)
 	dm := ctx.Distances()
 	scratch := vec.GetFloats(neighbours)
@@ -110,8 +120,21 @@ func (k *Krum) round(vectors [][]float64) *RoundContext {
 	return NewRoundContext(vectors).SetParallel(k.Parallel)
 }
 
-// SelectContext implements ContextSelector against a shared round.
+// SelectContext implements ContextSelector against a shared round. On
+// a screened round the winner comes from the pruned path — the same
+// index Argmin over the full score slice would produce (including
+// degenerate non-finite inputs, for which the screener falls back to
+// evaluating everything), because the bounded selection orders by the
+// identical (score, index) comparison and pruning is strict.
 func (k *Krum) SelectContext(ctx *RoundContext) ([]int, error) {
+	neighbours, err := k.prepare(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ctx.EnsureParallel(k.Parallel)
+	if scr := ctx.Screener(); scr != nil {
+		return scr.SelectKSmallest(neighbours, 1), nil
+	}
 	scores := vec.GetFloats(ctx.N())
 	defer vec.PutFloats(scores)
 	if err := k.scoresInto(ctx, scores); err != nil {
@@ -176,7 +199,9 @@ var (
 // Name implements Rule.
 func (mk *MultiKrum) Name() string { return fmt.Sprintf("multikrum(m=%d)", mk.M) }
 
-// SelectContext implements ContextSelector against a shared round.
+// SelectContext implements ContextSelector against a shared round. The
+// screened path returns the identical (score, index)-ordered M-subset
+// as KSmallestIndices over the full score slice.
 func (mk *MultiKrum) SelectContext(ctx *RoundContext) ([]int, error) {
 	if mk.M < 1 {
 		return nil, fmt.Errorf("m = %d (need m ≥ 1): %w", mk.M, ErrBadParameter)
@@ -185,6 +210,13 @@ func (mk *MultiKrum) SelectContext(ctx *RoundContext) ([]int, error) {
 		return nil, fmt.Errorf("m = %d exceeds n = %d: %w", mk.M, ctx.N(), ErrBadParameter)
 	}
 	inner := Krum{F: mk.F, Strict: mk.Strict}
+	neighbours, err := inner.prepare(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if scr := ctx.Screener(); scr != nil {
+		return scr.SelectKSmallest(neighbours, mk.M), nil
+	}
 	scores := vec.GetFloats(ctx.N())
 	defer vec.PutFloats(scores)
 	if err := inner.scoresInto(ctx, scores); err != nil {

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"krum/internal/vec"
+)
+
+// screenTestVectors mixes honest unit-variance proposals with a
+// Byzantine σ = 200 population — the regime where screening prunes.
+func screenTestVectors(n, f, d int, seed uint64) [][]float64 {
+	rng := vec.NewRNG(seed)
+	vs := make([][]float64, n)
+	for i := 0; i < n-f; i++ {
+		vs[i] = rng.NewNormal(d, 0, 1)
+	}
+	for i := n - f; i < n; i++ {
+		vs[i] = rng.NewNormal(d, 0, 200)
+	}
+	return vs
+}
+
+// TestScreenedEngineSelectsIdentically: Krum and Multi-Krum through a
+// screened engine must return the exact index sequences of the dense
+// engine, over clean, Byzantine and tie-degenerate rounds. This is the
+// blocking screened-vs-dense equivalence test the -race CI job runs.
+func TestScreenedEngineSelectsIdentically(t *testing.T) {
+	const n, d = 31, 65
+	f := (n - 3) / 2
+	rounds := map[string][][]float64{
+		"clean":     engineTestVectors(n, d, 5),
+		"byzantine": screenTestVectors(n, f, d, 6),
+		"all-equal": func() [][]float64 {
+			vs := make([][]float64, n)
+			base := engineTestVectors(1, d, 7)[0]
+			for i := range vs {
+				vs[i] = append([]float64(nil), base...)
+			}
+			return vs
+		}(),
+	}
+	rules := []struct {
+		name string
+		rule ContextSelector
+	}{
+		{"krum", NewKrum(f)},
+		{"multikrum-1", NewMultiKrum(f, 1)},
+		{"multikrum-7", NewMultiKrum(f, 7)},
+		{"multikrum-n", NewMultiKrum(f, n)},
+	}
+	for name, vs := range rounds {
+		for _, r := range rules {
+			rule := r.rule
+			dense := NewEngine(0)
+			screened := NewEngine(0).EnableScreening()
+			want, err := SelectContext(rule, dense.Round(vs))
+			if err != nil {
+				t.Fatalf("%s/%s dense: %v", name, r.name, err)
+			}
+			got, err := SelectContext(rule, screened.Round(vs))
+			if err != nil {
+				t.Fatalf("%s/%s screened: %v", name, r.name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: screened %v, dense %v", name, r.name, got, want)
+			}
+		}
+	}
+}
+
+// TestScreenedRoundSharesScreener: selection tracking plus aggregation
+// within one screened round must pay the screening pass once — no
+// dense matrix is ever built, and the screener is memoized on the
+// context.
+func TestScreenedRoundSharesScreener(t *testing.T) {
+	vs := screenTestVectors(25, 11, 40, 8)
+	e := NewEngine(0).EnableScreening()
+	ctx := e.Round(vs)
+	builds := vec.MatrixBuildCount()
+	rule := NewKrum(11)
+	sel, err := SelectContext(rule, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 40)
+	if err := AggregateContext(rule, dst, ctx); err != nil {
+		t.Fatal(err)
+	}
+	// One build: the screener's internal shell. A dense round would
+	// also build exactly one — the point here is that select+aggregate
+	// did not build a second.
+	if got := vec.MatrixBuildCount() - builds; got != 1 {
+		t.Errorf("screened select+aggregate built %d matrices, want 1", got)
+	}
+	if !reflect.DeepEqual(dst, vs[sel[0]]) {
+		t.Error("aggregate did not copy the selected proposal")
+	}
+}
+
+// TestScreenedEngineWithCache runs a multi-round partially-changing
+// sequence through dense, screened, and screened+cached engines: all
+// three must select identically every round, and the screened cache
+// must actually reuse (not rebuild) on partially-changed rounds.
+func TestScreenedEngineWithCache(t *testing.T) {
+	const n, d, f = 21, 48, 9
+	rule := NewMultiKrum(f, 5)
+	vs := screenTestVectors(n, f, d, 9)
+	dense := NewEngine(0)
+	screened := NewEngine(0).EnableScreening()
+	cached := NewEngine(0).EnableCache().EnableScreening()
+	rng := vec.NewRNG(10)
+	for round := 0; round < 12; round++ {
+		want, err := SelectContext(rule, dense.Round(vs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SelectContext(rule, screened.Round(vs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: screened %v, dense %v", round, got, want)
+		}
+		ctx := cached.Round(vs).SetChanged(cached.Cache().Changed(vs))
+		gotC, err := SelectContext(rule, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotC, want) {
+			t.Fatalf("round %d: screened+cached %v, dense %v", round, gotC, want)
+		}
+		// Mutate a few proposals for the next round; every third round
+		// replays verbatim.
+		vs = vec.CloneAll(vs)
+		if round%3 != 2 {
+			for c := 0; c < 1+rng.Intn(3); c++ {
+				i := rng.Intn(n)
+				sigma := 1.0
+				if i >= n-f {
+					sigma = 200
+				}
+				vs[i] = rng.NewNormal(d, 0, sigma)
+			}
+		}
+	}
+	st := cached.Cache().Stats()
+	if st.Builds != 1 {
+		t.Errorf("screened cache built %d times, want 1 (stats %+v)", st.Builds, st)
+	}
+	if st.Reuses == 0 || st.RowUpdates == 0 {
+		t.Errorf("screened cache never reused incrementally (stats %+v)", st)
+	}
+}
+
+// TestBulyanOnScreenedEngine: a rule that needs the full matrix
+// (Bulyan reads every active row each iteration) must keep working on
+// a screened engine — Distances() completes the screener's matrix —
+// and agree exactly with the dense engine.
+func TestBulyanOnScreenedEngine(t *testing.T) {
+	const n, d, f = 19, 33, 3 // Bulyan needs n ≥ 4f + 3
+	vs := screenTestVectors(n, f, d, 11)
+	rule := NewBulyan(f)
+	want := make([]float64, d)
+	if err := AggregateContext(rule, want, NewEngine(0).Round(vs)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, d)
+	if err := AggregateContext(rule, got, NewEngine(0).EnableScreening().Round(vs)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("Bulyan aggregate differs between screened and dense engines")
+	}
+}
+
+// TestScreenedCacheServesDenseRequest: a cache that has been holding a
+// screener must still serve a plain Distances() request (e.g. the
+// engine's screening later toggled off) bit-identically to a fresh
+// build, via the screener's materialization.
+func TestScreenedCacheServesDenseRequest(t *testing.T) {
+	const n, d, f = 15, 29, 6
+	vs := screenTestVectors(n, f, d, 12)
+	e := NewEngine(0).EnableCache().EnableScreening()
+	if _, err := SelectContext(NewKrum(f), e.Round(vs)); err != nil {
+		t.Fatal(err)
+	}
+	e.Screened = false
+	next := vec.CloneAll(vs)
+	next[3] = vec.NewRNG(13).NewNormal(d, 0, 1)
+	dm := e.Round(next).Distances()
+	fresh := vec.NewDistanceMatrix(next)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if dm.At(i, j) != fresh.At(i, j) {
+				t.Fatalf("cell (%d,%d): cached-screener %v, fresh %v", i, j, dm.At(i, j), fresh.At(i, j))
+			}
+		}
+	}
+}

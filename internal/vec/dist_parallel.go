@@ -5,6 +5,14 @@ import (
 	"sync"
 )
 
+// minParallelFlops is the minimum number of inner-product multiply-adds
+// a parallel build assigns per goroutine; fan-out is capped at
+// totalWork / minParallelFlops. Tuned on BenchmarkDistanceMatrix /
+// BenchmarkDistanceMatrixLargeN: an n = 40, d = 10⁴ build (~8 Mflop)
+// now runs serial — where parallel was a wash — while n ≥ 10³ builds
+// still fan out fully.
+const minParallelFlops = 8 << 20
+
 // NewDistanceMatrixParallel computes the same matrix as
 // NewDistanceMatrix using up to workers goroutines (0 means
 // GOMAXPROCS). Row pairs are strided across workers — the pair at row
@@ -23,6 +31,20 @@ func NewDistanceMatrixParallel(vectors [][]float64, workers int) *DistanceMatrix
 	}
 	if pairs := (n + 1) / 2; workers > pairs {
 		workers = pairs
+	}
+	// Cap the fan-out so each goroutine gets at least minParallelFlops
+	// of multiply-add work: below that, spawn/park/cache-line costs eat
+	// the speedup (at n = 40, d = 10⁴ the whole build is ~8 Mflop —
+	// barely one goroutine's worth). Worker count never affects results
+	// (bit-identical by the shared buildRowPair), only wall clock, so
+	// the cap is purely a scheduling decision.
+	dim := 0
+	if n > 0 {
+		dim = len(vectors[0])
+	}
+	totalFlops := uint64(n) * uint64(n-1) / 2 * uint64(dim)
+	if maxW := totalFlops / minParallelFlops; uint64(workers) > maxW {
+		workers = int(maxW)
 	}
 	// Small inputs: the goroutine overhead dwarfs the work.
 	if workers <= 1 || n < 4 {

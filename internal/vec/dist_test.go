@@ -147,6 +147,30 @@ func TestSumKSmallestBoundaries(t *testing.T) {
 	if got := single.SumKSmallestExcludingSelf(0, 1, scratch); got != 0 {
 		t.Errorf("single-vector matrix: got %v, want 0", got)
 	}
+	// All-equal vectors: every pairwise distance is an exact zero tie;
+	// every k must sum to 0 from every viewpoint — the degenerate
+	// input screened selection must also survive (its scores then tie
+	// completely and selection is decided by index alone).
+	allEq := NewDistanceMatrix([][]float64{{2, 2}, {2, 2}, {2, 2}, {2, 2}})
+	for i := 0; i < 4; i++ {
+		for k := 0; k <= 5; k++ {
+			if got := allEq.SumKSmallestExcludingSelf(i, k, scratch); got != 0 {
+				t.Errorf("all-equal matrix: i=%d k=%d got %v, want 0", i, k, got)
+			}
+		}
+	}
+	// Near-threshold duplicates: the k-th and (k+1)-th smallest differ
+	// by one ulp; the heap must keep exactly the k smallest, never the
+	// near-tie above the boundary.
+	lo := 4.0
+	hi := math.Nextafter(lo, math.Inf(1))
+	row := []float64{0, lo, hi, lo, hi, 100}
+	if got := sumKSmallest(row, 0, 2, scratch); got != lo+lo {
+		t.Errorf("ulp boundary k=2: got %v, want %v", got, lo+lo)
+	}
+	if got := sumKSmallest(row, 0, 3, scratch); got != lo+lo+hi {
+		t.Errorf("ulp boundary k=3: got %v, want %v", got, lo+lo+hi)
+	}
 }
 
 func TestKSmallestIndices(t *testing.T) {

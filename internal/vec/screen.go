@@ -1,0 +1,859 @@
+package vec
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// This file implements screened k-smallest-score selection: the
+// large-n path that lets Krum-style selection skip most of the n²
+// full d-dimensional inner products behind the distance matrix.
+//
+// The idea is metric pruning (Elkan-style): per-vector norms give the
+// reverse triangle inequality ‖a−b‖ ≥ |‖a‖−‖b‖|, and a small set of
+// pivot vectors with exactly-computed distance rows gives the
+// triangle bounds ‖a−b‖ ≥ |‖a−p‖−‖b−p‖| for every pivot p. From
+// those per-pair lower bounds a lower bound on each candidate's Krum
+// score (the sum of its k smallest squared distances) follows, and a
+// candidate whose score lower bound already exceeds the running m-th
+// best EXACT score can be skipped without ever computing its row.
+//
+// EXACTNESS: bounds may prune, never decide. Every candidate that
+// survives screening gets its full distance row recomputed through
+// the canonical accumulation order of gram.go (bit-identical to what
+// a full DistanceMatrix build produces) and its score extracted by
+// the same bounded-heap sumKSmallest as the dense path, so the
+// selected index sequence — and therefore every byte derived from it
+// — is bit-identical to the unscreened path. Pruning is sound
+// because the bounds are deflated by a rigorous floating-point error
+// margin (see screenErrConst) and the prune test is strict: a pruned
+// candidate's true score is strictly greater than the m-th smallest
+// selected score, so it could not have entered the selection under
+// any (score, index) tie-break. Inputs that defeat the bounds
+// (non-finite norms or scores) disable pruning entirely and fall
+// back to evaluating every row — still through the canonical
+// kernels, so exactness is unconditional.
+var screenPrunes atomic.Uint64
+
+// ScreenPruneCount returns the number of candidate rows pruned by
+// screened selection since process start — snapshot-and-diff test
+// instrumentation, like MatrixBuildCount.
+func ScreenPruneCount() uint64 { return screenPrunes.Load() }
+
+// screenErrConst scales the floating-point error margin applied to
+// every screening bound. The dot-product error model is the one the
+// dist property suite pins (gramTol): |computed − exact| ≤
+// c·(d+1)·ε·(‖a‖²+‖b‖²+1). gramTol uses c = 8; screening chains two
+// bound layers (pivot distances and candidate distances) plus a few
+// arithmetic steps of its own, so it deflates with c = 32. A larger
+// constant only costs prune rate, never correctness.
+const screenErrConst = 32
+
+// screenRelSlack absorbs the handful of exactly-rounded operations
+// (subtract, square, max) the bound assembly itself performs.
+const screenRelSlack = 1 - 1e-12
+
+// refineMissBudget is the adaptive cutoff on the per-candidate pivot
+// refinement: after this many consecutive refinements that failed to
+// prune, the selection loop stops paying the Θ(n·pivots) refinement
+// and evaluates remaining candidates on the norm bound alone. Once the
+// loop is deep into a cluster of genuinely-close candidates (which the
+// triangle bounds cannot exclude), further refinement is pure
+// overhead; a prune resets the budget. Like the pivot budget, this
+// only trades prune rate — never results.
+const refineMissBudget = 8
+
+// Screener performs screened k-smallest Krum-score selection over one
+// set of vectors. It owns contiguous vector copies and norms (via an
+// internal DistanceMatrix shell) and materializes exact distance rows
+// lazily: pivot rows at construction, candidate rows only when the
+// bounds fail to prune them. A Screener is NOT goroutine-safe; like
+// the RoundCache that may own it, it serves one sequential round loop.
+type Screener struct {
+	m    *DistanceMatrix
+	done []bool // done[i]: row i of m.d holds exact distances
+	// pivots are the indices whose rows were materialized up front to
+	// seed the triangle bounds (greedy farthest-first, deterministic).
+	pivots []int
+	// rlo/rhi bracket each vector's true Euclidean norm from below and
+	// above across the norm computation's rounding error.
+	rlo, rhi []float64
+	// tlo/thi bracket the true distance from pivot p to vector j:
+	// tlo[p][j] ≤ dist(pivot_p, v_j) ≤ thi[p][j].
+	tlo, thi [][]float64
+	// disabled records that a non-finite norm or score was seen: no
+	// pruning, every candidate is evaluated exactly.
+	disabled bool
+
+	// idx is materializeRow's gathered-column scratch (capacity n).
+	idx []int
+
+	// Cumulative counters (snapshot-and-diff, see Stats).
+	exactRows, prunedRows, dots uint64
+
+	// Memo of the most recent selection, so selection + aggregation
+	// within one round pay the screening pass once.
+	lastK, lastM int
+	lastSel      []int
+}
+
+// ScreenStats is a snapshot of a Screener's work counters. All
+// counters are cumulative across the screener's lifetime (including
+// cross-round reuse through a RoundCache); diff two snapshots to
+// measure one selection.
+type ScreenStats struct {
+	// Pivots is the number of pivot rows materialized at construction.
+	Pivots int
+	// ExactRows counts candidate rows materialized exactly (pivot rows
+	// included).
+	ExactRows uint64
+	// PrunedRows counts candidate rows skipped by the bounds.
+	PrunedRows uint64
+	// Dots counts full d-dimensional inner products computed — the
+	// unit the dense path pays n·(n−1)/2 of per matrix.
+	Dots uint64
+	// Disabled reports that non-finite input disabled pruning.
+	Disabled bool
+}
+
+// Stats returns the screener's counters.
+func (s *Screener) Stats() ScreenStats {
+	return ScreenStats{
+		Pivots:     len(s.pivots),
+		ExactRows:  s.exactRows,
+		PrunedRows: s.prunedRows,
+		Dots:       s.dots,
+		Disabled:   s.disabled,
+	}
+}
+
+// N returns the number of vectors.
+func (s *Screener) N() int { return s.m.n }
+
+// Dim returns the common vector dimension.
+func (s *Screener) Dim() int { return s.m.dim }
+
+// VectorEqual reports whether v is element-for-element identical to
+// the screener's stored copy of vector i — the same exact comparison
+// as DistanceMatrix.VectorEqual (NaN ≠ NaN).
+func (s *Screener) VectorEqual(i int, v []float64) bool { return s.m.VectorEqual(i, v) }
+
+// screenPivotCount returns the deterministic pivot budget for n
+// vectors: roughly 1.5·∛n, clamped to [3, 32]. The exact choice can
+// change only prune rate, never results.
+func screenPivotCount(n int) int {
+	p := 3 + int(1.5*math.Cbrt(float64(n)))
+	if p > 32 {
+		p = 32
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+// NewScreener builds a screener over the vectors: contiguous copies
+// and squared norms (Θ(n·d)), then pivot selection with exact pivot
+// rows (Θ(p·n·d) inner products). No other distances are computed
+// until SelectKSmallest needs them.
+func NewScreener(vectors [][]float64) *Screener {
+	m := newShell(vectors)
+	n := m.n
+	s := &Screener{
+		m:    m,
+		done: make([]bool, n),
+		rlo:  make([]float64, n),
+		rhi:  make([]float64, n),
+	}
+	s.refreshNormBounds(nil)
+	s.choosePivots()
+	return s
+}
+
+// refreshNormBounds recomputes rlo/rhi (and the disabled flag) for the
+// given indices, or for every vector when indices is nil.
+func (s *Screener) refreshNormBounds(indices []int) {
+	ce := screenErrConst * float64(s.m.dim+1) * 2.22e-16
+	one := func(i int) {
+		nrm := s.m.nrm[i]
+		if !isFinite(nrm) {
+			s.disabled = true
+			s.rlo[i], s.rhi[i] = 0, math.Inf(1)
+			return
+		}
+		e := ce * (2*nrm + 1)
+		lo := nrm - e
+		if lo < 0 {
+			lo = 0
+		}
+		s.rlo[i] = math.Sqrt(lo)
+		s.rhi[i] = math.Sqrt(nrm + e)
+	}
+	if indices == nil {
+		for i := 0; i < s.m.n; i++ {
+			one(i)
+		}
+		return
+	}
+	for _, i := range indices {
+		one(i)
+	}
+}
+
+// isFinite reports x is neither NaN nor ±Inf.
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// choosePivots picks the pivot set greedily farthest-first (start at
+// index 0; each next pivot maximizes its exact distance to the chosen
+// set, smallest index on ties) and materializes each pivot's exact
+// row. Deterministic by construction.
+func (s *Screener) choosePivots() {
+	n := s.m.n
+	if n == 0 {
+		return
+	}
+	budget := screenPivotCount(n)
+	minD := make([]float64, n)
+	for i := range minD {
+		minD[i] = math.Inf(1)
+	}
+	next := 0
+	for len(s.pivots) < budget {
+		s.pivots = append(s.pivots, next)
+		s.materializeRow(next)
+		row := s.m.Row(next)
+		best, bestD := -1, 0.0
+		for j := 0; j < n; j++ {
+			if row[j] < minD[j] {
+				minD[j] = row[j]
+			}
+			if !s.done[j] && minD[j] > bestD {
+				best, bestD = j, minD[j]
+			}
+		}
+		if best < 0 || bestD == 0 {
+			break // every remaining vector duplicates a pivot
+		}
+		next = best
+	}
+	s.refreshPivotBounds(nil)
+}
+
+// refreshPivotBounds rebuilds the tlo/thi brackets from the pivot
+// rows — for the given column indices only, or for every column when
+// indices is nil. Non-finite pivot distances disable pruning.
+func (s *Screener) refreshPivotBounds(indices []int) {
+	if s.tlo == nil {
+		n := s.m.n
+		s.tlo = make([][]float64, len(s.pivots))
+		s.thi = make([][]float64, len(s.pivots))
+		for p := range s.pivots {
+			s.tlo[p] = make([]float64, n)
+			s.thi[p] = make([]float64, n)
+		}
+	}
+	for p := range s.pivots {
+		s.refreshPivotRow(p, indices)
+	}
+}
+
+// refreshPivotRow rebuilds pivot p's tlo/thi brackets at the given
+// column indices (nil = every column).
+func (s *Screener) refreshPivotRow(p int, indices []int) {
+	pi := s.pivots[p]
+	row := s.m.Row(pi)
+	ce := screenErrConst * float64(s.m.dim+1) * 2.22e-16
+	one := func(j int) {
+		d2 := row[j]
+		if !isFinite(d2) {
+			s.disabled = true
+			s.tlo[p][j], s.thi[p][j] = 0, math.Inf(1)
+			return
+		}
+		e := ce * (s.m.nrm[pi] + s.m.nrm[j] + 1)
+		lo := d2 - e
+		if lo < 0 {
+			lo = 0
+		}
+		s.tlo[p][j] = math.Sqrt(lo)
+		s.thi[p][j] = math.Sqrt(d2 + e)
+	}
+	if indices == nil {
+		for j := 0; j < s.m.n; j++ {
+			one(j)
+		}
+		return
+	}
+	for _, j := range indices {
+		one(j)
+	}
+}
+
+// materializeRow fills row i of the matrix with exact distances. Cells
+// against already-materialized rows are copied from the symmetric side
+// (the canonical order makes ⟨v_i,v_j⟩ ≡ ⟨v_j,v_i⟩ bit for bit, so the
+// copy equals a recompute); the rest run the same kernels as a dense
+// build: Dist2 below naiveDimMax, gathered 1×4 tile dots assembled
+// exactly as assembleRow above it. Either way every cell is
+// bit-identical to the cell a full DistanceMatrix build would hold.
+func (s *Screener) materializeRow(i int) {
+	if s.done[i] {
+		return
+	}
+	m := s.m
+	n := m.n
+	row := m.d[i*n : (i+1)*n]
+	if !m.gram {
+		vi := m.vector(i)
+		for j := 0; j < n; j++ {
+			switch {
+			case j == i:
+				row[j] = 0
+			case s.done[j]:
+				row[j] = m.d[j*n+i]
+			default:
+				row[j] = Dist2(vi, m.vector(j))
+				s.dots++
+			}
+		}
+		s.done[i] = true
+		s.exactRows++
+		return
+	}
+	// Gather the columns that need fresh inner products; the rest copy
+	// from the symmetric side of already-materialized rows. Gathering
+	// matters late in a selection pass, when done columns fragment the
+	// row: dot4 takes four arbitrary column slices, so the 1×4 tile
+	// stays fully fed instead of degrading to per-column calls. Each
+	// column still accumulates in the canonical dotPair order, so the
+	// staged values are bit-identical to a dense build's.
+	if cap(s.idx) < n {
+		s.idx = make([]int, 0, n)
+	}
+	idx := s.idx[:0]
+	for j := 0; j < n; j++ {
+		switch {
+		case j == i:
+			row[j] = 0
+		case s.done[j]:
+			row[j] = m.d[j*n+i]
+		default:
+			idx = append(idx, j)
+		}
+	}
+	vi := m.vector(i)
+	t := 0
+	for ; t+4 <= len(idx); t += 4 {
+		r0, r1, r2, r3 := dot4(vi,
+			m.vector(idx[t]), m.vector(idx[t+1]), m.vector(idx[t+2]), m.vector(idx[t+3]))
+		row[idx[t]], row[idx[t+1]], row[idx[t+2]], row[idx[t+3]] = r0, r1, r2, r3
+	}
+	for ; t < len(idx); t++ {
+		row[idx[t]] = dotPair(vi, m.vector(idx[t]))
+	}
+	s.dots += uint64(len(idx))
+	// Assemble the fresh cells into clamped squared distances — the
+	// same expression as assembleRow, cell for cell (no mirroring:
+	// not-yet-done rows own no valid storage to mirror into).
+	nrmI := m.nrm[i]
+	for _, j := range idx {
+		v := nrmI + m.nrm[j] - 2*row[j]
+		if v < 0 {
+			v = 0
+		}
+		row[j] = v
+	}
+	s.done[i] = true
+	s.exactRows++
+}
+
+// materializeRowPair materializes two pending rows together through the
+// 2×4 tile (dot24) — the same kernel the dense build's row pairs run,
+// with half the column-vector traffic of two 1×4 passes. The done
+// bitmap is shared, so both rows need fresh dots at exactly the same
+// columns and one gathered index list serves both. Every cell is still
+// bit-identical to a dense build's: dot24's lanes accumulate in the
+// canonical dotPair order (gram contract), and the assembly expression
+// matches assembleRow cell for cell. Falls back to per-row
+// materialization off the Gram path or when either row is already done.
+func (s *Screener) materializeRowPair(i0, i1 int) {
+	m := s.m
+	if !m.gram || i0 == i1 || s.done[i0] || s.done[i1] {
+		s.materializeRow(i0)
+		s.materializeRow(i1)
+		return
+	}
+	n := m.n
+	row0 := m.d[i0*n : (i0+1)*n]
+	row1 := m.d[i1*n : (i1+1)*n]
+	if cap(s.idx) < n {
+		s.idx = make([]int, 0, n)
+	}
+	idx := s.idx[:0]
+	for j := 0; j < n; j++ {
+		if j == i0 || j == i1 {
+			continue
+		}
+		if s.done[j] {
+			row0[j] = m.d[j*n+i0]
+			row1[j] = m.d[j*n+i1]
+			continue
+		}
+		idx = append(idx, j)
+	}
+	v0, v1 := m.vector(i0), m.vector(i1)
+	cross := dotPair(v0, v1)
+	var t [8]float64
+	p := 0
+	for ; p+4 <= len(idx); p += 4 {
+		dot24(v0, v1,
+			m.vector(idx[p]), m.vector(idx[p+1]), m.vector(idx[p+2]), m.vector(idx[p+3]), &t)
+		row0[idx[p]], row0[idx[p+1]], row0[idx[p+2]], row0[idx[p+3]] = t[0], t[1], t[2], t[3]
+		row1[idx[p]], row1[idx[p+1]], row1[idx[p+2]], row1[idx[p+3]] = t[4], t[5], t[6], t[7]
+	}
+	for ; p < len(idx); p++ {
+		vj := m.vector(idx[p])
+		row0[idx[p]] = dotPair(v0, vj)
+		row1[idx[p]] = dotPair(v1, vj)
+	}
+	s.dots += 2*uint64(len(idx)) + 1
+	n0, n1 := m.nrm[i0], m.nrm[i1]
+	d2 := n0 + n1 - 2*cross
+	if d2 < 0 {
+		d2 = 0
+	}
+	row0[i0], row1[i1] = 0, 0
+	row0[i1], row1[i0] = d2, d2
+	for _, j := range idx {
+		v := n0 + m.nrm[j] - 2*row0[j]
+		if v < 0 {
+			v = 0
+		}
+		row0[j] = v
+		w := n1 + m.nrm[j] - 2*row1[j]
+		if w < 0 {
+			w = 0
+		}
+		row1[j] = w
+	}
+	s.done[i0], s.done[i1] = true, true
+	s.exactRows += 2
+}
+
+// materializeAll completes every pending row, pairing them through the
+// 2×4 tile.
+func (s *Screener) materializeAll() {
+	prev := -1
+	for i := 0; i < s.m.n; i++ {
+		if s.done[i] {
+			continue
+		}
+		if prev < 0 {
+			prev = i
+			continue
+		}
+		s.materializeRowPair(prev, i)
+		prev = -1
+	}
+	if prev >= 0 {
+		s.materializeRow(prev)
+	}
+}
+
+// normGapRow stages into g the norm-screen gap |‖v_i‖−‖v_j‖| for every
+// j, in true-distance units and possibly negative (the reverse triangle
+// inequality applied to the origin): dist(i,j) ≥ rlo[i]−rhi[j] and
+// ≥ rlo[j]−rhi[i]. Cost is Θ(n) with no pivot work — the cheap first
+// screen every candidate row pays.
+func (s *Screener) normGapRow(i int, g []float64) {
+	rlo, rhi := s.rlo, s.rhi
+	rloI, rhiI := rlo[i], rhi[i]
+	for j := range g {
+		v := rloI - rhi[j]
+		if w := rlo[j] - rhiI; w > v {
+			v = w
+		}
+		g[j] = v
+	}
+	g[i] = 0
+}
+
+// pivotGapRow folds the per-pivot triangle gaps into a staged gap row:
+// dist(i,j) ≥ dist(i,p)−dist(j,p) for every pivot p, using the
+// [tlo, thi] brackets so floating-point error in the pivot distances
+// can only weaken the bound. Θ(n·pivots) — the refinement stage, paid
+// only by rows the norm screen could not already exclude. The loop
+// runs pivot-outer over flat per-pivot slices so the inner body is
+// branch-cheap.
+func (s *Screener) pivotGapRow(i int, g []float64) {
+	for p := range s.pivots {
+		tlo, thi := s.tlo[p], s.thi[p]
+		tloI, thiI := tlo[i], thi[i]
+		for j := range g {
+			v := g[j]
+			if w := tloI - thi[j]; w > v {
+				v = w
+			}
+			if w := tlo[j] - thiI; w > v {
+				v = w
+			}
+			g[j] = v
+		}
+	}
+	g[i] = 0
+}
+
+// deflateGapRow turns staged true-distance gaps into per-pair lower
+// bounds on the EXACT computed squared distance d²(i,j): non-positive
+// gaps clamp to 0, positive gaps are squared and deflated by the
+// floating-point margin so the bound can never exceed what the
+// canonical kernel would compute.
+func (s *Screener) deflateGapRow(i int, g []float64) {
+	nrm := s.m.nrm
+	nrmI := nrm[i]
+	ce := screenErrConst * float64(s.m.dim+1) * 2.22e-16
+	for j := range g {
+		v := g[j]
+		if v <= 0 {
+			g[j] = 0
+			continue
+		}
+		v = v*v*screenRelSlack - ce*(nrmI+nrm[j]+1)
+		if v < 0 {
+			v = 0
+		}
+		g[j] = v
+	}
+	g[i] = 0
+}
+
+// lowerBoundRow writes into lb the full per-pair lower bound row (norm
+// screen plus every pivot refinement, deflated). The selection path
+// stages the same passes separately so the pivot cost is lazy; this
+// composition is the reference the bound-soundness property tests
+// exercise.
+func (s *Screener) lowerBoundRow(i int, lb []float64) {
+	s.normGapRow(i, lb)
+	s.pivotGapRow(i, lb)
+	s.deflateGapRow(i, lb)
+}
+
+// boundSum returns the sum of the k smallest entries of the bound row
+// lb (self column excluded) — the score lower bound the pruning
+// threshold compares against. Bound rows are finite and non-negative
+// by construction, so when at least k off-diagonal entries are exactly
+// zero the k smallest are all zero and the sum is exactly 0 in any
+// summation order: rows inside the honest cluster (whose gaps all
+// clamp to 0 against their neighbours) skip the heap pass entirely.
+func boundSum(lb []float64, i, k int, scratch []float64) float64 {
+	zeros := 0
+	for j, v := range lb {
+		if v == 0 && j != i {
+			zeros++
+		}
+	}
+	if zeros >= k {
+		return 0
+	}
+	return sumKSmallest(lb, i, k, scratch)
+}
+
+// selEntry is one (score, index) selection candidate.
+type selEntry struct {
+	v float64
+	i int
+}
+
+// insertBounded inserts e into the (value, index)-sorted bounded list
+// sel of capacity m, returning the updated list — the same ordering
+// rule as KSmallestIndices, maintained incrementally.
+func insertBounded(sel []selEntry, e selEntry, m int) []selEntry {
+	if len(sel) == m && !lessEntry(e.v, e.i, sel[m-1].v, sel[m-1].i) {
+		return sel
+	}
+	pos := len(sel)
+	for pos > 0 && lessEntry(e.v, e.i, sel[pos-1].v, sel[pos-1].i) {
+		pos--
+	}
+	if len(sel) < m {
+		sel = append(sel, selEntry{})
+	}
+	copy(sel[pos+1:], sel[pos:len(sel)-1])
+	sel[pos] = e
+	return sel
+}
+
+// SelectKSmallest returns the indices of the m smallest Krum scores
+// (each score the sum of the k smallest squared distances to the other
+// vectors), ordered by (score, index) — exactly the sequence the dense
+// path produces from KSmallestIndices over a full score slice, but
+// computing full distance rows only for candidates the bounds cannot
+// exclude. The returned slice is freshly allocated.
+//
+// Callers are responsible for k, m validation (Krum passes
+// k = n−f−2 ≥ 1, m = 1; MultiKrum validates 1 ≤ m ≤ n); out-of-range
+// values degrade gracefully (k ≤ 0 scores everything 0, m is clamped
+// to n).
+func (s *Screener) SelectKSmallest(k, m int) []int {
+	n := s.m.n
+	if m > n {
+		m = n
+	}
+	if m <= 0 {
+		return nil
+	}
+	if s.lastSel != nil && s.lastK == k && s.lastM == m {
+		return append([]int(nil), s.lastSel...)
+	}
+	sel := s.selectKSmallest(k, m)
+	s.lastK, s.lastM, s.lastSel = k, m, sel
+	return append([]int(nil), sel...)
+}
+
+// selectKSmallest is the uncached selection body.
+func (s *Screener) selectKSmallest(k, m int) []int {
+	n := s.m.n
+	if s.disabled {
+		return s.selectDense(k, m)
+	}
+	scratch := GetFloats(k)
+	defer PutFloats(scratch)
+	lbRow := GetFloats(n)
+	defer PutFloats(lbRow)
+	lbRow = lbRow[:n]
+
+	// Candidate order: rows already materialized first (their exact
+	// evaluation costs no inner products — evaluating them early only
+	// tightens the threshold), then the rest by ascending score lower
+	// bound. Evaluation order cannot change the result, only how much
+	// gets pruned: the final selection is the m smallest (score, index)
+	// pairs over every evaluated candidate, and pruned candidates
+	// provably cannot enter it.
+	//
+	// Stage 1 bounds each candidate with the norm screen alone — Θ(n)
+	// per row. The Θ(n·pivots) triangle refinement is deferred into the
+	// evaluation loop, where it is paid one row at a time and only by
+	// candidates the norm screen could not already prune.
+	type cand struct {
+		lb float64
+		i  int
+	}
+	cands := make([]cand, 0, n)
+	var free []int
+	for i := 0; i < n; i++ {
+		if s.done[i] {
+			free = append(free, i)
+			continue
+		}
+		s.normGapRow(i, lbRow)
+		s.deflateGapRow(i, lbRow)
+		cands = append(cands, cand{lb: boundSum(lbRow, i, k, scratch), i: i})
+	}
+	// Stable insertion sort by (lb, index): n is the matrix side, and
+	// the comparison must stay deterministic.
+	for a := 1; a < len(cands); a++ {
+		c := cands[a]
+		b := a
+		for b > 0 && lessEntry(c.lb, c.i, cands[b-1].lb, cands[b-1].i) {
+			cands[b] = cands[b-1]
+			b--
+		}
+		cands[b] = c
+	}
+
+	sel := make([]selEntry, 0, m)
+	refineMisses := 0
+	evaluate := func(i int) bool {
+		s.materializeRow(i)
+		score := sumKSmallest(s.m.Row(i), i, k, scratch)
+		if math.IsNaN(score) {
+			// A NaN score defeats the (value, index) total order the
+			// bounded insertion relies on; fall back to the dense
+			// path, which replicates KSmallestIndices' NaN handling
+			// exactly.
+			s.disabled = true
+			return false
+		}
+		sel = insertBounded(sel, selEntry{v: score, i: i}, m)
+		return true
+	}
+	for _, i := range free {
+		if !evaluate(i) {
+			return s.selectDense(k, m)
+		}
+	}
+	// Candidates that survive their bound checks are materialized two at
+	// a time through the 2×4 tile. While one row is pending its partner,
+	// the threshold lags by that row's unscored entry — pruning against
+	// a stale (larger) threshold is conservative, so every prune
+	// decision below stays valid; at worst one extra row is evaluated.
+	pending := -1
+	ok := true
+	for ci, c := range cands {
+		// Strict inequality: a candidate whose bound TIES the m-th best
+		// score could still displace a larger-index selection entry, so
+		// only a strictly larger bound may prune. The threshold only
+		// shrinks as more candidates are evaluated and cands is sorted
+		// by ascending bound, so the first norm-bound crossing prunes
+		// every remaining candidate at once.
+		if len(sel) == m && c.lb > sel[m-1].v {
+			pruned := len(cands) - ci
+			s.prunedRows += uint64(pruned)
+			screenPrunes.Add(uint64(pruned))
+			break
+		}
+		// Stage 2: before paying Θ(n·d) for the exact row, refine this
+		// candidate's bound with the pivot triangle gaps — Θ(n·pivots).
+		// A refined bound can prune only this row (cands is sorted by
+		// the norm bound, so later candidates may refine lower); with
+		// the selection not yet full nothing can be pruned, so the
+		// refinement is skipped, and refineMissBudget stops the
+		// refinement once it keeps failing.
+		if len(sel) == m && refineMisses < refineMissBudget {
+			s.normGapRow(c.i, lbRow)
+			s.pivotGapRow(c.i, lbRow)
+			s.deflateGapRow(c.i, lbRow)
+			if boundSum(lbRow, c.i, k, scratch) > sel[m-1].v {
+				s.prunedRows++
+				screenPrunes.Add(1)
+				refineMisses = 0
+				continue
+			}
+			refineMisses++
+		}
+		if pending < 0 {
+			pending = c.i
+			continue
+		}
+		s.materializeRowPair(pending, c.i)
+		ok = evaluate(pending) && evaluate(c.i)
+		pending = -1
+		if !ok {
+			return s.selectDense(k, m)
+		}
+	}
+	if pending >= 0 && !evaluate(pending) {
+		return s.selectDense(k, m)
+	}
+	out := make([]int, len(sel))
+	for i, e := range sel {
+		out[i] = e.i
+	}
+	return out
+}
+
+// selectDense evaluates every row exactly and selects through the same
+// KSmallestIndices call as the dense path — the unconditional fallback
+// when bounds are unavailable (non-finite input). No pruning, same
+// bits.
+func (s *Screener) selectDense(k, m int) []int {
+	n := s.m.n
+	scratch := GetFloats(k)
+	defer PutFloats(scratch)
+	scores := GetFloats(n)
+	defer PutFloats(scores)
+	scores = scores[:n]
+	s.materializeAll()
+	for i := 0; i < n; i++ {
+		scores[i] = sumKSmallest(s.m.Row(i), i, k, scratch)
+	}
+	return KSmallestIndices(scores, -1, m)
+}
+
+// Materialize completes every row and returns the underlying
+// DistanceMatrix — bit-identical to NewDistanceMatrix over the same
+// vectors. It is the escape hatch for a consumer that needs the full
+// matrix after screening has already started (e.g. a dense-only rule
+// sharing a screened round).
+func (s *Screener) Materialize() *DistanceMatrix {
+	s.materializeAll()
+	return s.m
+}
+
+// UpdateRows replaces every vector named in changed with its entry in
+// vectors and repairs all screening state so the screener is
+// indistinguishable from a fresh build over the new vector set:
+// changed rows lose their materialization (their next use recomputes
+// them), surviving materialized rows are patched only at the changed
+// columns (Θ(done·c) inner products), and the norm and pivot bounds
+// are refreshed only for the changed indices — bounds are invalidated
+// for changed rows, never wholesale. Cost: Θ(c·n·d) worst case (a
+// changed pivot row rebuilds fully), Θ((p+done)·c·d) typical.
+func (s *Screener) UpdateRows(changed []int, vectors [][]float64) {
+	if len(changed) == 0 {
+		return
+	}
+	m := s.m
+	n := m.n
+	isChanged := make([]bool, n)
+	uniq := changed[:0:0]
+	for _, i := range changed {
+		if !isChanged[i] {
+			m.setVector(i, vectors[i])
+			isChanged[i] = true
+			uniq = append(uniq, i)
+		}
+	}
+	changed = uniq
+	// Changed rows: whatever was materialized is stale row-wide.
+	for i := 0; i < n; i++ {
+		if isChanged[i] {
+			s.done[i] = false
+		}
+	}
+	// Surviving materialized rows: only the changed columns moved.
+	// Patch those cells exactly BEFORE any changed pivot row rebuilds,
+	// so the rebuild's symmetric copies out of done rows are current.
+	for i := 0; i < n; i++ {
+		if !s.done[i] {
+			continue
+		}
+		row := m.d[i*n : (i+1)*n]
+		for _, j := range changed {
+			row[j] = m.cell(i, j)
+			s.dots++
+		}
+	}
+	// Changed pivot rows must stay exact — rebuild them outright.
+	for _, p := range s.pivots {
+		if isChanged[p] {
+			s.materializeRow(p)
+		}
+	}
+	// Bounds: invalidated only for changed rows on the common path. A
+	// previously disabled screener refreshes wholesale instead — the
+	// poison may live in unchanged entries, and only a full recheck can
+	// prove this round clean enough to re-enable pruning.
+	if s.disabled {
+		s.disabled = false
+		s.refreshNormBounds(nil)
+		s.refreshPivotBounds(nil)
+	} else {
+		s.refreshNormBounds(changed)
+		s.refreshPivotBounds(changed)
+		for p, pi := range s.pivots {
+			if isChanged[pi] {
+				s.refreshPivotRow(p, nil)
+			}
+		}
+	}
+	s.lastSel = nil
+}
+
+// cell computes the exact distance between vectors i and j with the
+// same kernel and canonical accumulation order as a full build: Dist2
+// below naiveDimMax, norms minus twice the canonical inner product
+// (clamped) above it.
+func (m *DistanceMatrix) cell(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if !m.gram {
+		return Dist2(m.vector(i), m.vector(j))
+	}
+	v := m.nrm[i] + m.nrm[j] - 2*dotPair(m.vector(i), m.vector(j))
+	if v < 0 {
+		v = 0
+	}
+	return v
+}

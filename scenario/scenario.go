@@ -90,6 +90,10 @@ type Spec struct {
 	// either way; the flag trades memory for skipped recomputation when
 	// proposals replay across rounds.
 	Incremental bool `json:"incremental,omitempty"`
+	// Screened enables norm + triangle-inequality screened selection
+	// (see distsgd.Config.Screened). Results are bit-identical either
+	// way; the flag prunes distance work at large n.
+	Screened bool `json:"screened,omitempty"`
 }
 
 // Label returns a compact human-readable cell identity.
@@ -179,6 +183,7 @@ func (s Spec) Compile() (distsgd.Config, error) {
 		TrackSelection: s.TrackSelection,
 		Parallel:       s.Parallel,
 		Incremental:    s.Incremental,
+		Screened:       s.Screened,
 	}, nil
 }
 
