@@ -51,13 +51,15 @@ race:
 	$(GO) test -race ./...
 
 # shard-tests is the distributed-execution gate: the coordinator +
-# in-process-worker-fleet integration test, the chaos test (worker
-# killed mid-cell, delayed heartbeats), the single-flight property
-# suite and the Monte-Carlo warm-rerun proofs, all under the race
-# detector. Blocking in CI as its own job — the sharding layer's
-# byte-identity contract is the whole point.
+# in-process-worker-fleet integration test, the chaos tests (worker
+# killed mid-cell, delayed heartbeats, AND the coordinator itself
+# killed mid-matrix and recovered from its journal), the journal
+# replay/checkpoint suite, the segmented-store crash-window suite, the
+# single-flight property suite and the Monte-Carlo warm-rerun proofs,
+# all under the race detector. Blocking in CI as its own job — the
+# sharding layer's byte-identity contract is the whole point.
 shard-tests:
-	$(GO) test -race -count 1 -run 'TestShard|TestChaos|TestSingleFlight|TestMonteCarlo' ./cmd/krum-scenariod ./scenario/store ./internal/harness
+	$(GO) test -race -count 1 -run 'TestShard|TestChaos|TestJournal|TestSegment|TestSingleFlight|TestMonteCarlo' ./cmd/krum-scenariod ./scenario/store ./internal/harness
 	$(GO) test -race -count 1 ./scenario/shardproto
 
 # fuzz-smoke runs each native fuzz target for a short budget (seeds +

@@ -184,6 +184,26 @@ func (fl *fleet) join(slots int) shardproto.JoinResponse {
 	}
 }
 
+// restoreWseq advances the member id sequence to at least n — journal
+// recovery calls it so a restarted coordinator never re-grants an id
+// some pre-crash worker may still be presenting (the token check would
+// reject the zombie anyway, but unique ids keep logs and tests
+// unambiguous about which incarnation a member belongs to).
+func (fl *fleet) restoreWseq(n int) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if n > fl.wseq {
+		fl.wseq = n
+	}
+}
+
+// currentWseq reads the member id sequence for checkpointing.
+func (fl *fleet) currentWseq() int {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return fl.wseq
+}
+
 // member authenticates (id, token) against the live membership;
 // callers hold fl.mu. A bad token is indistinguishable from an expired
 // id, so guessing sequential worker ids grants nothing.
@@ -258,26 +278,30 @@ func validResultBytes(raw json.RawMessage) bool {
 	return bytes.Equal(bytes.TrimSpace(raw), again)
 }
 
-// complete resolves a task with a worker's report. It is accepted only
-// if the report authenticates, the task is still assigned to that
-// worker, and a success payload survives the canonical-bytes check: a
-// report for a task requeued after expiry (or already resolved by the
-// replacement) answers false and is discarded — the executions are
+// complete resolves a task with a worker's report. known is false when
+// the reporter does not authenticate — a lease that expired, or a
+// member of a pre-crash coordinator incarnation — and the caller
+// answers 410 so the worker rejoins immediately instead of reporting
+// into the void until its polls notice. An authenticated report is
+// accepted only if the task is still assigned to that worker and a
+// success payload survives the canonical-bytes check: a report for a
+// task requeued after expiry (or already resolved by the replacement)
+// answers accepted=false and is discarded — the executions are
 // byte-identical, so dropping the stale copy loses nothing and keeps
 // the store to one save per key — while a malformed payload requeues
 // the task, treating its sender as faulty.
-func (fl *fleet) complete(workerID, token, taskID string, raw json.RawMessage, errMsg string) bool {
+func (fl *fleet) complete(workerID, token, taskID string, raw json.RawMessage, errMsg string) (accepted, known bool) {
 	fl.mu.Lock()
 	w := fl.member(workerID, token)
 	if w == nil {
 		fl.mu.Unlock()
-		return false
+		return false, false
 	}
 	w.lastSeen = time.Now()
 	t, ok := fl.assigned[taskID]
 	if !ok || t.worker != workerID {
 		fl.mu.Unlock()
-		return false
+		return false, true
 	}
 	if errMsg == "" && !validResultBytes(raw) {
 		// The worker is alive but talking garbage: take the task away
@@ -287,7 +311,7 @@ func (fl *fleet) complete(workerID, token, taskID string, raw json.RawMessage, e
 		resolve := fl.requeueLocked(t)
 		fl.mu.Unlock()
 		resolveAll(resolve)
-		return false
+		return false, true
 	}
 	delete(fl.assigned, taskID)
 	delete(w.tasks, taskID)
@@ -298,7 +322,7 @@ func (fl *fleet) complete(workerID, token, taskID string, raw json.RawMessage, e
 		t.raw = raw
 	}
 	close(t.done)
-	return true
+	return true, true
 }
 
 // requeueLocked returns an unassigned-again task to the queue, or —
@@ -462,8 +486,13 @@ func (s *Server) handleFleetJoin(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "server is shutting down", http.StatusServiceUnavailable)
 		return
 	}
+	grant := s.fleet.join(req.Slots)
+	// Journal the granted id (mutation first, event second — the
+	// ordering journal.rewrite relies on) so a restarted coordinator
+	// resumes the sequence past every id ever handed out.
+	s.journalAppend(journalEvent{Type: "join", Worker: grant.WorkerID})
 	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, s.fleet.join(req.Slots))
+	writeJSON(w, grant)
 }
 
 // handleFleetPoll leases a task to a worker (POST /fleet/poll),
@@ -542,7 +571,17 @@ func (s *Server) handleFleetResult(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	accepted := s.fleet.complete(req.WorkerID, req.Token, req.TaskID, req.Result, req.Error)
+	accepted, known := s.fleet.complete(req.WorkerID, req.Token, req.TaskID, req.Result, req.Error)
+	if !known {
+		// The reporter's identity means nothing here — its lease lapsed,
+		// or it joined a previous coordinator incarnation. 410 sends it
+		// straight to rejoin (the same signal poll and heartbeat give),
+		// which is how a restarted coordinator re-adopts a live fleet
+		// mid-matrix; the in-flight result is dropped and its cell is
+		// re-dispatched, recomputing to identical bytes.
+		http.Error(w, "unknown worker id (lease expired; rejoin)", http.StatusGone)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	writeJSON(w, shardproto.ResultResponse{Accepted: accepted})
 }

@@ -1,0 +1,218 @@
+package main
+
+// Journal coverage: replay rules (checkpoint replacement, done
+// removal, unknown-matrix and malformed-line skipping, torn final
+// line), the checkpoint rewrite, and server-level resume — a journaled
+// matrix resurrects under its original id on a fresh server and
+// finishes with results byte-identical to a direct run, and a graceful
+// Stop leaves a zero-lag checkpoint that preserves the id sequences.
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"krum/scenario"
+	"krum/scenario/store"
+)
+
+// journalLine renders one event as a journal line.
+func journalLine(t *testing.T, ev journalEvent) string {
+	t.Helper()
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b) + "\n"
+}
+
+// testCells expands matrixBody's grid into specs.
+func testCells(t *testing.T, seed uint64, rules ...string) []scenario.Spec {
+	t.Helper()
+	m, err := scenario.ParseMatrixJSON([]byte(matrixBody(t, seed, rules...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Cells()
+}
+
+// TestJournalReplayRules pins the replay semantics line by line:
+// events apply in order, a checkpoint replaces everything before it,
+// done removes a matrix, unknown references and malformed interior
+// lines are skipped-and-counted, and a torn final line is forgiven.
+func TestJournalReplayRules(t *testing.T) {
+	cells := testCells(t, 1, "krum")
+	var sb strings.Builder
+	// Pre-checkpoint garbage that the checkpoint must erase.
+	sb.WriteString(journalLine(t, journalEvent{Type: "submit", Matrix: "m1", Cells: cells}))
+	sb.WriteString(journalLine(t, journalEvent{Type: "checkpoint", Checkpoint: &checkpoint{
+		Seq: 4, Wseq: 7,
+		Matrices: []checkpointMatrix{{ID: "m3", Cells: cells}},
+	}}))
+	sb.WriteString(journalLine(t, journalEvent{Type: "cell", Matrix: "m3", Index: 0}))
+	sb.WriteString(journalLine(t, journalEvent{Type: "cell", Matrix: "m99", Index: 0})) // unknown matrix
+	sb.WriteString("{not json}\n")                                                      // malformed interior
+	sb.WriteString(journalLine(t, journalEvent{Type: "submit", Matrix: "m5", Cells: cells}))
+	sb.WriteString(journalLine(t, journalEvent{Type: "done", Matrix: "m3"}))
+	sb.WriteString(journalLine(t, journalEvent{Type: "join", Worker: "w9"}))
+	sb.WriteString(`{"type":"cell","matrix":"m5","ind`) // torn final append
+
+	state := &journalState{}
+	replayJournal([]byte(sb.String()), state)
+	if state.seq != 5 {
+		t.Errorf("seq = %d, want 5 (checkpoint's 4 advanced by m5)", state.seq)
+	}
+	if state.wseq != 9 {
+		t.Errorf("wseq = %d, want 9", state.wseq)
+	}
+	if len(state.matrices) != 1 || state.matrices[0].ID != "m5" {
+		t.Fatalf("live matrices = %+v, want just m5 (m3 is done, m1 pre-checkpoint)", state.matrices)
+	}
+	if len(state.matrices[0].Cells) != len(cells) {
+		t.Errorf("m5 carries %d cells, want %d", len(state.matrices[0].Cells), len(cells))
+	}
+	// Skipped: the unknown-matrix cell and the malformed interior line;
+	// NOT the torn final line.
+	if state.skipped != 2 {
+		t.Errorf("skipped = %d, want 2", state.skipped)
+	}
+	// Lag since the checkpoint: cell(m3), submit(m5), done(m3), join.
+	if state.events != 4 {
+		t.Errorf("events since checkpoint = %d, want 4", state.events)
+	}
+}
+
+// TestJournalCheckpointRewrite pins the rewrite mechanics: after a
+// rewrite the file holds exactly one checkpoint line, lag is zero,
+// and appends land after it and replay on top of it.
+func TestJournalCheckpointRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coordinator.journal")
+	cells := testCells(t, 1, "krum")
+	j, state, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.events != 0 || len(state.matrices) != 0 {
+		t.Fatalf("fresh journal replayed state %+v", state)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := j.append(journalEvent{Type: "join", Worker: "w1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Lag() != 3 {
+		t.Fatalf("lag = %d, want 3", j.Lag())
+	}
+	cp := checkpoint{Seq: 2, Wseq: 1, Matrices: []checkpointMatrix{{ID: "m2", Cells: cells}}}
+	if err := j.rewrite(func() checkpoint { return cp }); err != nil {
+		t.Fatal(err)
+	}
+	if j.Lag() != 0 {
+		t.Errorf("lag after rewrite = %d, want 0", j.Lag())
+	}
+	if _, err := j.append(journalEvent{Type: "cell", Matrix: "m2", Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+
+	j2, state2, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	if state2.seq != 2 || state2.wseq != 1 {
+		t.Errorf("sequences = (%d, %d), want (2, 1)", state2.seq, state2.wseq)
+	}
+	if len(state2.matrices) != 1 || state2.matrices[0].ID != "m2" {
+		t.Fatalf("live matrices = %+v, want just m2", state2.matrices)
+	}
+	if got := state2.matrices[0].Done; len(got) != 1 || got[0] != 0 {
+		t.Errorf("m2 done = %v, want [0]", got)
+	}
+	if state2.events != 1 {
+		t.Errorf("replayed lag = %d, want 1 (one append after the checkpoint)", state2.events)
+	}
+}
+
+// TestJournalServerResume is the recovery half at the server level
+// (no fleet): a journal holding a live matrix resurrects it on
+// UseJournal under its original id, the matrix finishes with results
+// byte-identical to a direct run, /healthz reports the journal lag,
+// and a graceful Stop leaves a zero-lag checkpoint preserving the id
+// sequence for the next incarnation.
+func TestJournalServerResume(t *testing.T) {
+	cells := testCells(t, 3, "krum", "average")
+	direct, err := (&scenario.Runner{Workers: 2}).RunCells(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A "crashed coordinator's" journal: matrix m2 was live, one cell
+	// had completed, and worker id w3 had been granted.
+	path := filepath.Join(t.TempDir(), "coordinator.journal")
+	blob := journalLine(t, journalEvent{Type: "submit", Matrix: "m2", Cells: cells}) +
+		journalLine(t, journalEvent{Type: "cell", Matrix: "m2", Index: 0}) +
+		journalLine(t, journalEvent{Type: "join", Worker: "w3"})
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(2, store.NewMemory(), 0)
+	resumed, err := srv.UseJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 1 {
+		t.Fatalf("resumed %d matrices, want 1", resumed)
+	}
+	ts := httptest.NewServer(srv)
+	status := waitFinished(t, ts, "m2")
+	if status.Failed != 0 || status.Total != len(cells) {
+		t.Fatalf("resumed matrix: %+v", status)
+	}
+	var results resultsJSON
+	getJSON(t, ts, "/matrices/m2/results", &results)
+	for i, cr := range direct {
+		cell := results.Results[i]
+		if cell == nil || cell.Result == nil || cell.Error != "" {
+			t.Fatalf("resumed cell %d missing or failed: %+v", i, cell)
+		}
+		if encodeResult(t, cell.Result) != encodeResult(t, cr.Result) {
+			t.Errorf("resumed cell %d differs from the direct run", i)
+		}
+	}
+
+	// The journal is live: healthz must report a lag (the finished
+	// matrix appended cell and done events after the initial
+	// checkpoint).
+	var health healthJSON
+	getJSON(t, ts, "/healthz", &health)
+	if health.Status != "ok" || health.JournalLag == nil {
+		t.Fatalf("healthz with a journal = %+v, want status ok with a lag", health)
+	}
+
+	// New ids must not collide with resurrected ones.
+	sub := submit(t, ts, matrixBody(t, 9, "krum"))
+	if sub.ID != "m3" {
+		t.Errorf("post-recovery submission got id %s, want m3", sub.ID)
+	}
+	waitFinished(t, ts, sub.ID)
+
+	// Graceful Stop: the final checkpoint is a zero-lag file whose
+	// sequences cover everything ever granted, with no live matrices.
+	ts.Close()
+	srv.Stop()
+	_, state, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.events != 0 || len(state.matrices) != 0 {
+		t.Errorf("post-Stop journal: %d events, %d matrices; want a bare checkpoint", state.events, len(state.matrices))
+	}
+	if state.seq < 3 || state.wseq < 3 {
+		t.Errorf("post-Stop sequences = (%d, %d), want at least (3, 3)", state.seq, state.wseq)
+	}
+}

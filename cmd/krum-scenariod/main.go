@@ -13,6 +13,15 @@
 //
 //	krum-scenariod -addr :8080 -workers 8 -store cells.jsonl
 //
+// A durable coordinator adds a segmented store directory and a
+// checkpoint/journal; killed mid-matrix — SIGKILL, OOM, a pulled plug
+// — and restarted on the same state, it replays the journal, resumes
+// unfinished matrices under their original ids (completed cells
+// replay as store hits), and re-adopts the live worker fleet through
+// the 410/rejoin path:
+//
+//	krum-scenariod -addr :8080 -store-dir ./cells -journal ./coordinator.journal
+//
 // A worker joins a coordinator's fleet and contributes capacity:
 //
 //	krum-scenariod -worker -join http://coordinator:8080 -workers 4
@@ -38,15 +47,18 @@
 //	POST /fleet/heartbeat        worker → coordinator: mid-cell liveness
 //	POST /fleet/result           worker → coordinator: report a finished task
 //	GET  /fleet                  fleet membership + queue depth
-//	GET  /store                  result-store counters (hits, misses, flight waits, ...)
-//	GET  /healthz                liveness probe
+//	GET  /store                  result-store counters (hits, misses, superseded, tampered, ...)
+//	GET  /healthz                liveness probe; reports journal lag when -journal is set
 //
 // Shutdown (SIGINT/SIGTERM) is graceful mid-matrix in both roles: a
 // coordinator finishes and persists in-flight cells (dispatched cells
-// fall back to local execution), unstarted cells never run, and the
-// affected matrices report "aborted" — resume is resubmitting the same
+// fall back to local execution), unstarted cells never run, the
+// affected matrices report "aborted", and with -journal a final
+// checkpoint is written before exit — resume is resubmitting the same
 // matrix after restart, replaying the completed prefix as store hits.
-// A dying worker simply stops heartbeating; its cells are reassigned.
+// (Only a crash leaves live matrices in the journal; those resume
+// automatically, no resubmission needed.) A dying worker simply stops
+// heartbeating; its cells are reassigned.
 package main
 
 import (
@@ -74,13 +86,33 @@ func run() int {
 	addrFlag := flag.String("addr", ":8080", "coordinator listen address")
 	workersFlag := flag.Int("workers", 0, "coordinator: shared pool width across all matrices; worker: concurrent cell slots (0 = NumCPU)")
 	storeFlag := flag.String("store", "", "content-addressed result store JSONL path (empty = in-memory only)")
+	storeDirFlag := flag.String("store-dir", "", "segmented result store directory (live tail + sealed, hashed segments); mutually exclusive with -store")
+	journalFlag := flag.String("journal", "", "coordinator checkpoint/journal path: a restarted coordinator replays it and resumes unfinished matrices")
 	leaseFlag := flag.Duration("lease", 10*time.Second, "coordinator: worker liveness lease (a worker silent this long is presumed dead)")
 	workerFlag := flag.Bool("worker", false, "run as a fleet worker instead of a coordinator")
 	joinFlag := flag.String("join", "", "worker: coordinator base URL to join, e.g. http://host:8080")
 	flag.Parse()
 
+	if *storeFlag != "" && *storeDirFlag != "" {
+		fmt.Fprintln(os.Stderr, "-store and -store-dir are mutually exclusive")
+		return 2
+	}
+	if *workerFlag && *journalFlag != "" {
+		fmt.Fprintln(os.Stderr, "-journal is a coordinator flag (workers keep no matrix state)")
+		return 2
+	}
+
 	var st scenario.ResultStore
-	if *storeFlag != "" {
+	if *storeDirFlag != "" {
+		dirStore, err := store.OpenDir(*storeDirFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "store: %v\n", err)
+			return 2
+		}
+		defer dirStore.Close()
+		fmt.Printf("store %s (segmented): %s\n", *storeDirFlag, dirStore.Stats())
+		st = dirStore
+	} else if *storeFlag != "" {
 		fileStore, err := store.Open(*storeFlag)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "store: %v\n", err)
@@ -103,7 +135,7 @@ func run() int {
 	if *workerFlag {
 		return runWorker(ctx, *joinFlag, *workersFlag, st)
 	}
-	return runCoordinator(ctx, *addrFlag, *workersFlag, *leaseFlag, st)
+	return runCoordinator(ctx, *addrFlag, *workersFlag, *leaseFlag, st, *journalFlag)
 }
 
 // runWorker is the -worker role: join the fleet and execute dispatched
@@ -133,9 +165,18 @@ func runWorker(ctx context.Context, join string, slots int, st scenario.ResultSt
 	return 0
 }
 
-// runCoordinator is the default role: serve matrices and the fleet.
-func runCoordinator(ctx context.Context, addr string, workers int, lease time.Duration, st scenario.ResultStore) int {
+// runCoordinator is the default role: serve matrices and the fleet,
+// resuming journaled matrices first when a journal is configured.
+func runCoordinator(ctx context.Context, addr string, workers int, lease time.Duration, st scenario.ResultStore, journalPath string) int {
 	srv := NewServer(workers, st, lease)
+	if journalPath != "" {
+		resumed, err := srv.UseJournal(journalPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "journal: %v\n", err)
+			return 2
+		}
+		fmt.Printf("journal %s: %d unfinished matrices resumed\n", journalPath, resumed)
+	}
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
 
 	errc := make(chan error, 1)

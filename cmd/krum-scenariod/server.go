@@ -52,6 +52,12 @@ type Server struct {
 	wg  sync.WaitGroup
 	mux *http.ServeMux
 
+	// journal, when non-nil (UseJournal), records matrix lifecycle
+	// events so a restarted coordinator resumes unfinished matrices
+	// (journal.go). It is set before serving starts and never mutated
+	// after, so reads need no lock.
+	journal *journal
+
 	mu       sync.Mutex
 	matrices map[string]*matrixRun
 	seq      int
@@ -163,6 +169,121 @@ func (s *Server) Stop() {
 	// their workers never answer.
 	s.fleet.close()
 	s.wg.Wait()
+	// Final checkpoint (the graceful-shutdown contract): every matrix
+	// is terminal by now, so the checkpoint pins just the id sequences
+	// — a clean, zero-lag journal for the next incarnation. Only a
+	// crash leaves live matrices behind for recovery to resume.
+	if s.journal != nil {
+		_ = s.journal.rewrite(s.snapshot)
+		s.journal.close()
+	}
+}
+
+// UseJournal attaches a checkpoint/journal (journal.go) to the
+// server, replaying path first: matrices that were live when the
+// previous coordinator died are resurrected under their original ids
+// and re-executed — their completed cells replay as store hits, so
+// recovery costs only the genuinely unfinished work — and the id
+// sequences resume past everything ever granted, so recovered and new
+// ids never collide. Worker identities are deliberately NOT restored:
+// a restarted coordinator must not trust tokens it cannot verify, so
+// the live fleet re-adopts itself through the existing 410/rejoin
+// path within one poll round-trip.
+//
+// Call it after NewServer and before serving requests or submitting
+// matrices; it returns the number of resurrected matrices.
+func (s *Server) UseJournal(path string) (resumed int, err error) {
+	j, state, err := openJournal(path)
+	if err != nil {
+		return 0, err
+	}
+	s.journal = j
+	s.fleet.restoreWseq(state.wseq)
+
+	// Resurrect live matrices exactly the way handleSubmit registers
+	// fresh ones: registration + wg.Add in one critical section, then
+	// the executor goroutine.
+	s.mu.Lock()
+	if state.seq > s.seq {
+		s.seq = state.seq
+	}
+	var runs []*matrixRun
+	for _, cm := range state.matrices {
+		run := &matrixRun{
+			id:      cm.ID,
+			cells:   cm.Cells,
+			results: make([]*scenario.CellResult, len(cm.Cells)),
+		}
+		s.matrices[run.id] = run
+		s.wg.Add(1)
+		runs = append(runs, run)
+	}
+	s.mu.Unlock()
+	for _, run := range runs {
+		go s.execute(run)
+	}
+
+	// Start the new journal from a checkpoint: replay gets instant and
+	// whatever damage the old file carried is left behind.
+	if err := j.rewrite(s.snapshot); err != nil {
+		return len(runs), fmt.Errorf("initial checkpoint: %w", err)
+	}
+	return len(runs), nil
+}
+
+// journalAppend records one event and triggers the automatic
+// checkpoint rewrite when the lag crosses the threshold. Journal
+// failures are deliberately non-fatal: the coordinator's first duty is
+// finishing matrices, and every result byte is already durable in the
+// store — only resume-without-resubmission degrades.
+func (s *Server) journalAppend(ev journalEvent) {
+	if s.journal == nil {
+		return
+	}
+	lag, err := s.journal.append(ev)
+	if err != nil {
+		return
+	}
+	if lag >= s.journal.every {
+		_ = s.journal.rewrite(s.snapshot)
+	}
+}
+
+// snapshot builds a checkpoint of the live (non-terminal) matrices and
+// id sequences. It is handed to journal.rewrite, which calls it under
+// the journal lock — see rewrite for why that ordering makes the
+// rewrite lossless.
+func (s *Server) snapshot() checkpoint {
+	s.mu.Lock()
+	cp := checkpoint{Seq: s.seq, Wseq: s.fleet.currentWseq()}
+	runs := make([]*matrixRun, 0, len(s.matrices))
+	for _, run := range s.matrices {
+		runs = append(runs, run)
+	}
+	s.mu.Unlock()
+	for _, run := range runs {
+		run.mu.Lock()
+		if run.terminal() {
+			run.mu.Unlock()
+			continue
+		}
+		cp.Matrices = append(cp.Matrices, checkpointMatrix{
+			ID:    run.id,
+			Cells: run.cells,
+			Done:  append([]int(nil), run.order...),
+		})
+		run.mu.Unlock()
+	}
+	// Deterministic checkpoint bytes: ids are m1, m2, ... so
+	// length-then-lex is numeric order.
+	sort.Slice(cp.Matrices, func(i, j int) bool {
+		a, b := cp.Matrices[i].ID, cp.Matrices[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return cp
 }
 
 // maxCells bounds one submission's cartesian expansion — large enough
@@ -309,6 +430,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 
+	// The registration above is the state mutation; the event follows
+	// it — the ordering every checkpoint snapshot's completeness
+	// argument rests on (see journal.rewrite).
+	s.journalAppend(journalEvent{Type: "submit", Matrix: run.id, Cells: cells})
+
 	go s.execute(run)
 
 	w.Header().Set("Content-Type", "application/json")
@@ -351,6 +477,11 @@ loop:
 			}()
 			cr := s.executeCell(i, run.cells[i])
 			run.record(cr)
+			ev := journalEvent{Type: "cell", Matrix: run.id, Index: cr.Index, Cached: cr.Cached}
+			if cr.Err != nil {
+				ev.CellError = cr.Err.Error()
+			}
+			s.journalAppend(ev)
 		}(i)
 	}
 	// The terminal flag is only set AFTER the in-flight cells drain:
@@ -358,6 +489,7 @@ loop:
 	// delivering late completions and DELETE must keep refusing.
 	cellWG.Wait()
 	run.finish(aborted)
+	s.journalAppend(journalEvent{Type: "done", Matrix: run.id, Aborted: aborted})
 }
 
 // executeCell runs one cell through the shared store's single-flight
@@ -601,13 +733,34 @@ func (s *Server) handleStore(w http.ResponseWriter, _ *http.Request) {
 		"saves":              stats.Saves,
 		"skipped_records":    stats.SkippedRecords,
 		"dropped_tail_bytes": stats.DroppedTailBytes,
+		"superseded":         stats.Superseded,
+		"tampered":           stats.Tampered,
+		"segments":           stats.Segments,
+		"seals":              stats.Seals,
+		"compactions":        stats.Compactions,
 	})
 }
 
-// handleHealthz is the liveness probe.
+// healthJSON is the GET /healthz reply.
+type healthJSON struct {
+	// Status is "ok" whenever the server answers at all.
+	Status string `json:"status"`
+	// JournalLag counts journal events since the last checkpoint —
+	// the replay cost a crash right now would pay. Present only when a
+	// journal is attached.
+	JournalLag *int `json:"journal_lag,omitempty"`
+}
+
+// handleHealthz is the liveness probe; with a journal attached it also
+// reports the journal lag.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	out := healthJSON{Status: "ok"}
+	if s.journal != nil {
+		lag := s.journal.Lag()
+		out.JournalLag = &lag
+	}
 	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, map[string]string{"status": "ok"})
+	writeJSON(w, out)
 }
 
 // writeJSON encodes v, ignoring write errors (the client went away).

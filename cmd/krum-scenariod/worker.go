@@ -318,6 +318,17 @@ func (w *Worker) executeTask(ctx context.Context, task *shardproto.Task) {
 			w.pause(ctx, lease/4)
 			continue
 		}
+		if status == http.StatusGone {
+			// Our identity is dead — the lease lapsed, or the coordinator
+			// restarted and no longer knows this incarnation. Rejoin right
+			// away and drop the result: the new coordinator re-dispatches
+			// the cell, and purity makes the recompute byte-identical.
+			w.logf("reporting %s: identity expired; rejoining and dropping the result", task.ID)
+			if err := w.join(ctx, id); err != nil && ctx.Err() == nil {
+				w.logf("rejoin: %v (the poll loop retries)", err)
+			}
+			return
+		}
 		if status != http.StatusOK {
 			w.logf("reporting %s: status %d: %s", task.ID, status, body)
 			return

@@ -1,0 +1,382 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Segmented store format. A file-backed Store normally grows one
+// append-only JSONL file forever; a SEGMENTED store bounds the live
+// tail instead: once the tail crosses a size threshold it is sealed —
+// its bytes become an immutable segment published through the Backend
+// under a name that embeds their SHA-256 — and the tail restarts
+// empty. Open replays sealed segments in sequence order and then the
+// tail, with exactly today's corruption rules at each level:
+//
+//   - the tail keeps the single-file semantics: a torn final line is
+//     truncated away, malformed or key-mismatched lines are skipped;
+//   - a sealed segment is all-or-nothing: its content hash must match
+//     the hash in its name, and a mismatch skips the WHOLE segment
+//     (counted in Stats.Tampered) — a sealed blob was written
+//     atomically, so any deviation is tampering or bit rot, never a
+//     torn append;
+//   - duplicate keys resolve last-write-wins across the whole replay
+//     (segments in sequence order, then the tail), matching the order
+//     the records were originally appended in.
+//
+// Compact merges every sealed segment into one: last write per key
+// wins, superseded records and records that fail their integrity
+// check are dropped, and the merged segment replaces its inputs. The
+// tail is never compacted — it seals on its own schedule. Because the
+// merged segment carries a higher sequence than its inputs, a crash
+// between publishing it and removing them is harmless: the next Open
+// replays old-then-merged and last-write-wins lands on identical
+// entries.
+//
+// Crash windows, exhaustively: a crash mid-seal leaves either a *.tmp
+// blob (ignored) or a published segment plus an untruncated tail — the
+// same records twice, collapsing under last-write-wins to the same
+// index, with the duplicates visible as Stats.Superseded until the
+// next Compact. A crash mid-append tears only the tail's final line.
+// There is no window in which a record that was acknowledged durable
+// can be lost or a record can be served with bytes other than the ones
+// saved.
+
+// DefaultSealBytes is the tail size that triggers sealing when
+// SegmentedOptions.SealBytes is zero.
+const DefaultSealBytes = 4 << 20
+
+// segmentPrefix and segmentSuffix frame every segment name:
+// seg-<8-digit sequence>-<64-hex sha256>.jsonl.
+const (
+	segmentPrefix = "seg-"
+	segmentSuffix = ".jsonl"
+)
+
+// segmentName renders the self-verifying name of a segment holding
+// data: the sequence orders replay, the hash authenticates the bytes.
+func segmentName(seq int, data []byte) string {
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%s%08d-%s%s", segmentPrefix, seq, hex.EncodeToString(sum[:]), segmentSuffix)
+}
+
+// parseSegmentName extracts the sequence and content hash from a
+// segment name; ok is false for anything that is not a well-formed
+// segment name (foreign files, temp files, path escapes).
+func parseSegmentName(name string) (seq int, hash string, ok bool) {
+	if name != filepath.Base(name) {
+		return 0, "", false
+	}
+	rest, found := strings.CutPrefix(name, segmentPrefix)
+	if !found {
+		return 0, "", false
+	}
+	rest, found = strings.CutSuffix(rest, segmentSuffix)
+	if !found {
+		return 0, "", false
+	}
+	seqStr, hash, found := strings.Cut(rest, "-")
+	if !found || len(seqStr) != 8 || len(hash) != sha256.Size*2 {
+		return 0, "", false
+	}
+	seq, err := strconv.Atoi(seqStr)
+	if err != nil || seq < 0 {
+		return 0, "", false
+	}
+	if _, err := hex.DecodeString(hash); err != nil {
+		return 0, "", false
+	}
+	return seq, hash, true
+}
+
+// verifySegment reports whether data hashes to the hash embedded in
+// name — the wholesale integrity check Open and Compact apply before
+// trusting a single line of a sealed segment.
+func verifySegment(name string, data []byte) bool {
+	_, want, ok := parseSegmentName(name)
+	if !ok {
+		return false
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]) == want
+}
+
+// SegmentedOptions tunes OpenSegmented.
+type SegmentedOptions struct {
+	// SealBytes is the tail size at which an append seals the tail into
+	// a segment (0 means DefaultSealBytes). Tests use tiny values to
+	// force sealing; production leaves the default.
+	SealBytes int64
+}
+
+// OpenDir opens (creating if needed) a segmented store rooted at dir:
+// sealed segments live in dir via a DirBackend and the live tail is
+// dir/tail.jsonl. It is the directory-shaped sibling of Open — same
+// lookup results, same corruption tolerance, bounded live file.
+func OpenDir(dir string) (*Store, error) {
+	return OpenDirOptions(dir, SegmentedOptions{})
+}
+
+// OpenDirOptions is OpenDir with explicit tuning.
+func OpenDirOptions(dir string, opts SegmentedOptions) (*Store, error) {
+	b, err := NewDirBackend(dir)
+	if err != nil {
+		return nil, err
+	}
+	return OpenSegmented(b, filepath.Join(dir, "tail.jsonl"), opts)
+}
+
+// OpenSegmented opens a segmented store: sealed segments through
+// backend, the live append tail at tailPath (a local file — appends
+// need a filesystem even when segments ship to an object store). The
+// replay order is segments by sequence, then the tail; corruption
+// handling is documented at the top of this file.
+func OpenSegmented(backend Backend, tailPath string, opts SegmentedOptions) (*Store, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("nil backend: %w", ErrStore)
+	}
+	sealBytes := opts.SealBytes
+	if sealBytes <= 0 {
+		sealBytes = DefaultSealBytes
+	}
+	s, err := Open(tailPath)
+	if err != nil {
+		return nil, err
+	}
+	// Open loaded the tail; graft the backend on and replay the sealed
+	// segments UNDER it by rebuilding the index in replay order.
+	s.backend = backend
+	s.sealBytes = sealBytes
+	if err := s.reloadSegmented(); err != nil {
+		s.file.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// reloadSegmented rebuilds the index as segments-then-tail. The tail
+// was already loaded (and its torn tail truncated) by Open; its lines
+// must win over segment lines, so the index is cleared and the whole
+// replay redone in order. Counters for the tail's skipped/tampered
+// lines were set by the tail load and are preserved.
+func (s *Store) reloadSegmented() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names, err := s.backend.ListSegments()
+	if err != nil {
+		return err
+	}
+	// Reset index and re-count: segment records first, then the tail's
+	// lines replayed from the (already truncated) file. The tail's
+	// skip/tamper counters from the initial single-file load are reset
+	// too — the tail lines run through indexLine again below, and
+	// counting them twice would misreport the damage (DroppedTailBytes
+	// stands: the truncation happened exactly once).
+	s.index = make(map[string]json.RawMessage)
+	s.diskKeys = make(map[string]struct{})
+	s.stats.SkippedRecords = 0
+	s.stats.Tampered = 0
+	s.tailRecords = 0
+	s.segRecords = 0
+	s.segments = nil
+	for _, name := range names {
+		if seq, _, ok := parseSegmentName(name); ok && seq > s.segSeq {
+			s.segSeq = seq
+		}
+		data, err := s.backend.ReadSegment(name)
+		if err != nil {
+			return err
+		}
+		if !verifySegment(name, data) {
+			// The blob does not match the hash it was published under:
+			// tampering or rot. Sealed blobs are atomic, so there is no
+			// "torn tail" excuse — skip it wholesale, serve nothing from
+			// it, and let the affected cells recompute.
+			s.stats.Tampered++
+			continue
+		}
+		s.segments = append(s.segments, name)
+		for _, line := range splitLines(data) {
+			s.indexLine(line, &s.segRecords)
+		}
+	}
+	if err := s.replayTailLocked(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// replayTailLocked re-indexes the tail file's intact lines after the
+// segments have been indexed; callers hold s.mu. The file was already
+// truncated to whole lines by load, so a plain read to offset is a
+// read of intact records.
+func (s *Store) replayTailLocked() error {
+	if s.offset == 0 {
+		return nil
+	}
+	data := make([]byte, s.offset)
+	if _, err := s.file.ReadAt(data, 0); err != nil && err != io.EOF {
+		return fmt.Errorf("rereading tail %s: %w: %w", s.path, err, ErrStore)
+	}
+	for _, line := range splitLines(data) {
+		s.indexLine(line, &s.tailRecords)
+	}
+	return nil
+}
+
+// splitLines cuts a blob of newline-terminated records into lines,
+// dropping a trailing fragment (sealed segments never have one; the
+// tail was truncated to whole lines at load).
+func splitLines(data []byte) [][]byte {
+	var lines [][]byte
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			break
+		}
+		lines = append(lines, data[:i+1])
+		data = data[i+1:]
+	}
+	return lines
+}
+
+// Seal publishes the current tail as an immutable segment and empties
+// the tail. It is a no-op on an empty tail and an error on a store
+// without a backend. Appends normally trigger sealing automatically at
+// the SealBytes threshold; Seal exists for tests and for operators who
+// want a consistent segment boundary (say, before replicating).
+func (s *Store) Seal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.backend == nil {
+		return fmt.Errorf("store has no segment backend: %w", ErrStore)
+	}
+	return s.sealLocked()
+}
+
+// sealLocked moves the tail's bytes into a new sealed segment; callers
+// hold s.mu. The publish happens BEFORE the tail truncate, so a crash
+// between the two duplicates records (resolved by last-write-wins at
+// the next Open) instead of losing them.
+func (s *Store) sealLocked() error {
+	if s.offset == 0 || s.file == nil {
+		return nil
+	}
+	data := make([]byte, s.offset)
+	if _, err := s.file.ReadAt(data, 0); err != nil && err != io.EOF {
+		return fmt.Errorf("reading tail for seal: %w: %w", err, ErrStore)
+	}
+	name := segmentName(s.segSeq+1, data)
+	if err := s.backend.WriteSegment(name, data); err != nil {
+		return err
+	}
+	s.segSeq++
+	s.segments = append(s.segments, name)
+	if err := s.rollbackTo(0); err != nil {
+		// The segment holds every record, so the store is still fully
+		// durable — the un-emptied tail just duplicates it until the
+		// next successful truncate or Open.
+		return fmt.Errorf("truncating sealed tail: %w: %w", err, ErrStore)
+	}
+	s.offset = 0
+	s.segRecords += s.tailRecords
+	s.tailRecords = 0
+	s.stats.Seals++
+	return nil
+}
+
+// Compact merges every sealed segment into one, last write per key
+// winning, dropping superseded records and records or segments that
+// fail their integrity checks, then removes the merged inputs. Lookups
+// are unchanged by construction — compaction rewrites where bytes
+// live, never which bytes a key resolves to. The tail is untouched. A
+// store without a backend errors; a store whose segments are already
+// fully compacted is a no-op.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.backend == nil {
+		return fmt.Errorf("store has no segment backend: %w", ErrStore)
+	}
+	names, err := s.backend.ListSegments()
+	if err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	// Replay the sealed segments alone: final line per key, in
+	// first-appearance key order (deterministic, append-flavored).
+	final := make(map[string][]byte)
+	var order []string
+	dropped := false // any duplicate, malformed, or tampered byte on disk
+	for _, name := range names {
+		data, err := s.backend.ReadSegment(name)
+		if err != nil {
+			return err
+		}
+		if !verifySegment(name, data) {
+			dropped = true
+			continue // drop the tampered segment from disk below
+		}
+		for _, line := range splitLines(data) {
+			_, key, v := decodeLine(line)
+			if v != lineOK {
+				// Malformed and key-mismatched lines are dropped by the
+				// merge; they were counted when Open replayed them.
+				dropped = v != lineEmpty
+				continue
+			}
+			if _, seen := final[key]; !seen {
+				order = append(order, key)
+			} else {
+				dropped = true // superseded copy goes away
+			}
+			final[key] = append([]byte(nil), line...)
+		}
+	}
+	if len(names) == 1 && !dropped {
+		return nil // one clean segment with no duplicates: nothing to gain
+	}
+	var merged []byte
+	for _, key := range order {
+		merged = append(merged, final[key]...)
+	}
+	if len(merged) > 0 {
+		name := segmentName(s.segSeq+1, merged)
+		if err := s.backend.WriteSegment(name, merged); err != nil {
+			return err
+		}
+		s.segSeq++
+		s.segments = []string{name}
+	} else {
+		s.segments = nil
+	}
+	// Inputs go only after the merged segment is durable; a failed
+	// Remove leaves a lower-sequence duplicate that the next Open
+	// resolves identically, so removal is best-effort but reported.
+	var removeErr error
+	for _, name := range names {
+		if err := s.backend.Remove(name); err != nil && removeErr == nil {
+			removeErr = err
+		}
+	}
+	s.segRecords = len(final)
+	s.stats.Compactions++
+	return removeErr
+}
+
+// Segments returns the names of the sealed segments currently backing
+// the store, in replay order (empty for non-segmented stores).
+func (s *Store) Segments() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.segments...)
+}

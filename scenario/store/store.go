@@ -225,12 +225,35 @@ type Stats struct {
 	// DroppedTailBytes is the size of the torn final line Open
 	// discarded (0 for a clean file).
 	DroppedTailBytes int
+	// Superseded counts records currently on disk that are shadowed by
+	// a later write to the same key — duplicates from re-saves, crashed
+	// seals, or un-compacted history. It is the store's compaction
+	// debt: Compact drives the sealed-segment share of it to zero.
+	Superseded int
+	// Tampered counts integrity-check failures observed since Open:
+	// records whose stored key did not re-derive from their stored
+	// identity, plus whole sealed segments whose content hash did not
+	// match the hash in their name (each such segment counts once and
+	// is skipped wholesale). Tampered data is never served; the
+	// affected cells recompute.
+	Tampered int
+	// Segments is the number of sealed segments currently backing the
+	// store (0 for single-file and in-memory stores).
+	Segments int
+	// Seals counts tail→segment seals since Open.
+	Seals int
+	// Compactions counts Compact merges since Open.
+	Compactions int
 }
 
 // String renders the counters in one line.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d entries, %d hits, %d misses, %d flight waits, %d saves, %d skipped, %d tail bytes dropped",
-		s.Entries, s.Hits, s.Misses, s.FlightWaits, s.Saves, s.SkippedRecords, s.DroppedTailBytes)
+	line := fmt.Sprintf("%d entries, %d hits, %d misses, %d flight waits, %d saves, %d skipped, %d tampered, %d superseded, %d tail bytes dropped",
+		s.Entries, s.Hits, s.Misses, s.FlightWaits, s.Saves, s.SkippedRecords, s.Tampered, s.Superseded, s.DroppedTailBytes)
+	if s.Segments > 0 || s.Seals > 0 || s.Compactions > 0 {
+		line += fmt.Sprintf(", %d segments (%d seals, %d compactions)", s.Segments, s.Seals, s.Compactions)
+	}
+	return line
 }
 
 // Store is a content-addressed scenario result store: an in-memory
@@ -249,6 +272,25 @@ type Store struct {
 	// singleflight.go); entries exist only while a leader is computing.
 	flights map[string]*flight
 	stats   Stats
+
+	// backend, when non-nil, makes this a SEGMENTED store (see
+	// segment.go): the tail seals into immutable hashed segments at
+	// sealBytes, replayed before the tail at Open.
+	backend   Backend
+	sealBytes int64
+	// segSeq is the highest segment sequence in use; segments lists the
+	// sealed segments in replay order.
+	segSeq   int
+	segments []string
+	// segRecords / tailRecords count the valid indexed records living
+	// in sealed segments and in the tail respectively; together with
+	// diskKeys they make Stats.Superseded exact: superseded =
+	// segRecords + tailRecords − len(diskKeys).
+	segRecords  int
+	tailRecords int
+	// diskKeys is the set of distinct keys with at least one durable
+	// record (subset of index for stores that dropped to memory-only).
+	diskKeys map[string]struct{}
 }
 
 // NewMemory returns a store with no backing file — the index lives and
@@ -256,8 +298,9 @@ type Store struct {
 // -store path is given, and convenient in tests and examples.
 func NewMemory() *Store {
 	return &Store{
-		index:   make(map[string]json.RawMessage),
-		flights: make(map[string]*flight),
+		index:    make(map[string]json.RawMessage),
+		flights:  make(map[string]*flight),
+		diskKeys: make(map[string]struct{}),
 	}
 }
 
@@ -276,10 +319,11 @@ func Open(path string) (*Store, error) {
 		return nil, fmt.Errorf("opening %s: %w: %w", path, err, ErrStore)
 	}
 	s := &Store{
-		path:    path,
-		file:    f,
-		index:   make(map[string]json.RawMessage),
-		flights: make(map[string]*flight),
+		path:     path,
+		file:     f,
+		index:    make(map[string]json.RawMessage),
+		flights:  make(map[string]*flight),
+		diskKeys: make(map[string]struct{}),
 	}
 	if err := s.load(); err != nil {
 		f.Close()
@@ -310,7 +354,7 @@ func (s *Store) load() error {
 			return fmt.Errorf("reading %s: %w: %w", s.path, err, ErrStore)
 		}
 		offset += int64(len(line))
-		s.indexLine(line)
+		s.indexLine(line, &s.tailRecords)
 	}
 	if _, err := s.file.Seek(0, io.SeekEnd); err != nil {
 		return fmt.Errorf("seeking %s: %w: %w", s.path, err, ErrStore)
@@ -319,28 +363,61 @@ func (s *Store) load() error {
 	return nil
 }
 
-// indexLine validates one complete line and indexes it, counting (not
-// failing on) records that cannot be served safely.
-func (s *Store) indexLine(line []byte) {
+// lineVerdict classifies one JSONL line for indexing.
+type lineVerdict int
+
+const (
+	// lineOK is a servable record.
+	lineOK lineVerdict = iota
+	// lineEmpty is whitespace only.
+	lineEmpty
+	// lineMalformed failed to parse as a record.
+	lineMalformed
+	// lineTampered parsed but failed the integrity check: its stored
+	// key does not re-derive from its stored identity (hand-edited
+	// spec, stale version salt), or it carries no result.
+	lineTampered
+)
+
+// decodeLine parses one complete JSONL line and re-derives its key —
+// the acceptance rule shared by Open's replay and Compact's merge. A
+// key mismatch means the record was written under a different code
+// version (stale salt) or its identity was altered after hashing —
+// either way serving it could be a stale result.
+func decodeLine(line []byte) (rec record, key string, v lineVerdict) {
 	trimmed := strings.TrimSpace(string(line))
 	if trimmed == "" {
-		return
+		return record{}, "", lineEmpty
 	}
-	var rec record
 	if err := json.Unmarshal([]byte(trimmed), &rec); err != nil {
-		s.stats.SkippedRecords++
-		return
+		return record{}, "", lineMalformed
 	}
-	// Re-derive the key from the stored identity: a mismatch means the
-	// record was written under a different code version (stale salt) or
-	// its spec was altered after hashing — either way serving it could
-	// be a stale result, so it is dropped and the cell recomputes.
 	key, err := rec.deriveKey()
 	if err != nil || key != rec.Key || len(rec.Result) == 0 {
+		return record{}, "", lineTampered
+	}
+	return rec, key, lineOK
+}
+
+// indexLine validates one complete line and indexes it, counting (not
+// failing on) records that cannot be served safely; counter is the
+// location tally (segment vs tail records) a servable line bumps.
+func (s *Store) indexLine(line []byte, counter *int) {
+	rec, key, v := decodeLine(line)
+	switch v {
+	case lineEmpty:
+		return
+	case lineMalformed:
 		s.stats.SkippedRecords++
 		return
+	case lineTampered:
+		s.stats.SkippedRecords++
+		s.stats.Tampered++
+		return
 	}
-	s.index[rec.Key] = rec.Result // duplicate keys: last write wins
+	s.index[key] = rec.Result // duplicate keys: last write wins
+	s.diskKeys[key] = struct{}{}
+	*counter++
 }
 
 // Lookup implements scenario.ResultStore. Any internal failure — a
@@ -420,7 +497,7 @@ func (s *Store) appendRecord(rec record) error {
 			// record on the next Open). If even the rollback fails, the
 			// file is unusable — drop to memory-only so persistence
 			// errors stay loud but hits keep working.
-			if terr := s.rollback(); terr != nil {
+			if terr := s.rollbackTo(s.offset); terr != nil {
 				s.file.Close()
 				s.file = nil
 				return fmt.Errorf("appending to %s: %w (rollback failed: %v; store is memory-only now): %w", s.path, err, terr, ErrStore)
@@ -428,19 +505,27 @@ func (s *Store) appendRecord(rec record) error {
 			return fmt.Errorf("appending to %s: %w: %w", s.path, err, ErrStore)
 		}
 		s.offset += int64(len(line))
+		s.tailRecords++
+		s.diskKeys[rec.Key] = struct{}{}
 	}
 	s.index[rec.Key] = rec.Result
 	s.stats.Saves++
+	// The record is durable; sealing is opportunistic on top of it — a
+	// failed seal leaves the tail to keep growing and the next append
+	// (or an explicit Seal) retries.
+	if s.backend != nil && s.offset >= s.sealBytes {
+		_ = s.sealLocked()
+	}
 	return nil
 }
 
-// rollback truncates the file to the last fully-written record and
-// repositions the append cursor. Callers hold s.mu.
-func (s *Store) rollback() error {
-	if err := s.file.Truncate(s.offset); err != nil {
+// rollbackTo truncates the file to offset and repositions the append
+// cursor there. Callers hold s.mu.
+func (s *Store) rollbackTo(offset int64) error {
+	if err := s.file.Truncate(offset); err != nil {
 		return err
 	}
-	_, err := s.file.Seek(s.offset, io.SeekStart)
+	_, err := s.file.Seek(offset, io.SeekStart)
 	return err
 }
 
@@ -450,6 +535,8 @@ func (s *Store) Stats() Stats {
 	defer s.mu.Unlock()
 	st := s.stats
 	st.Entries = len(s.index)
+	st.Segments = len(s.segments)
+	st.Superseded = s.segRecords + s.tailRecords - len(s.diskKeys)
 	return st
 }
 
