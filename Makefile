@@ -13,7 +13,7 @@ TRACKED_BENCHES ?= BenchmarkBulyanMemoized|BenchmarkScenarioMatrixRunner|Benchma
 # it up locally for a real hunt).
 FUZZTIME ?= 10s
 
-.PHONY: check check-docs fmt vet build test race shard-tests fuzz-smoke bench bench-large bench-all
+.PHONY: check check-docs fmt vet build test race shard-tests load-test fuzz-smoke bench bench-large bench-all
 
 # check is the CI gate: formatting, static analysis, build, the
 # race-detector pass over the full tree (race runs every test, so a
@@ -61,6 +61,17 @@ race:
 shard-tests:
 	$(GO) test -race -count 1 -run 'TestShard|TestChaos|TestJournal|TestSegment|TestSingleFlight|TestMonteCarlo' ./cmd/krum-scenariod ./scenario/store ./internal/harness
 	$(GO) test -race -count 1 ./scenario/shardproto
+
+# load-test is the in-process multi-tenant load harness: hundreds of
+# worker slots against thousands of small cells from several tenants,
+# asserting fair-share dispatch ratios (50% ± 10% between two
+# equal-priority tenants), strict priority precedence, quota
+# backpressure (real 429s, Retry-After honored, zero lost work),
+# worker-cache affinity hits and byte-identity against a direct
+# in-process Runner. Deliberately saturates the machine for tens of
+# seconds, so it is env-gated and runs as a non-blocking CI job.
+load-test:
+	KRUM_LOAD_TEST=1 $(GO) test -count 1 -run 'TestLoadMultiTenant' -timeout 20m -v ./cmd/krum-scenariod
 
 # fuzz-smoke runs each native fuzz target for a short budget (seeds +
 # committed corpus + a few seconds of mutation). One target at a time:

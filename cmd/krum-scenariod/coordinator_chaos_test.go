@@ -187,7 +187,20 @@ func TestChaosCoordinatorKillMidMatrix(t *testing.T) {
 	defer workers.stop()
 	waitFleetAt(t, base, 3)
 
-	body, err := json.Marshal(m)
+	// Submit under an explicit tenant and priority: recovery must carry
+	// the attribution across the crash (it is journaled with the
+	// submit event and the checkpoints).
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envelope map[string]any
+	if err := json.Unmarshal(blob, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	envelope["tenant"] = "chaos-tenant"
+	envelope["priority"] = 2
+	body, err := json.Marshal(envelope)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,6 +256,9 @@ func TestChaosCoordinatorKillMidMatrix(t *testing.T) {
 	status := waitFinishedAt(t, base, sub.ID)
 	if status.Failed != 0 {
 		t.Fatalf("recovered run failed %d cells", status.Failed)
+	}
+	if status.Tenant != "chaos-tenant" || status.Priority != 2 {
+		t.Fatalf("recovery lost tenancy: tenant %q priority %d, want chaos-tenant/2", status.Tenant, status.Priority)
 	}
 	if status.Completed != len(direct) || status.Total != len(direct) {
 		t.Fatalf("recovered run completed %d/%d of %d cells", status.Completed, status.Total, len(direct))

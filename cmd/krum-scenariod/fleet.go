@@ -19,11 +19,19 @@ import (
 )
 
 // The fleet is the coordinator half of sharded scenario execution: a
-// dispatch queue plus heartbeat-based membership. Cells enter through
-// fleet.execute (called under the store's single-flight, so one key is
-// dispatched at most once however many matrices or callers want it),
-// wait in a FIFO queue, and are leased to workers that long-poll for
-// work. A worker silent for longer than the lease is presumed dead:
+// tenant-aware dispatch queue plus heartbeat-based membership. Cells
+// enter through fleet.execute (called under the store's single-flight,
+// so one key is dispatched at most once however many matrices or
+// callers want it), wait in per-tenant×priority ring queues, and are
+// leased to workers that long-poll for work — up to a whole batch per
+// poll. Dispatch order is priority first, then fair share: among the
+// highest-priority non-empty queues the tenant with the fewest
+// in-flight tasks goes next (least-recently-picked breaks ties), so
+// two tenants submitting equal work each hold ~half the fleet however
+// lopsided their queue depths are. Within the chosen queue a small
+// affinity window prefers a task whose workload×seed matches what the
+// polling worker ran last, so the worker's workload cache keeps
+// hitting. A worker silent for longer than the lease is presumed dead:
 // its tasks are requeued and picked up by the next poll. When no live
 // workers remain (none ever joined, or the fleet died mid-matrix),
 // execution falls back to the local in-process path — a coordinator
@@ -37,10 +45,26 @@ var errNoWorkers = errors.New("fleet: no live workers")
 // before the coordinator stops re-dispatching and computes it locally.
 const maxTaskAttempts = 3
 
+// affinityWindow is how deep into the chosen queue tryAssign looks for
+// a task matching the polling worker's last workload×seed. Small on
+// purpose: affinity is a cache optimization, and scanning deeper would
+// trade queue fairness (and O(1) dispatch) for marginal hit rate.
+const affinityWindow = 8
+
 // fleetTask is one dispatched cell.
 type fleetTask struct {
-	id       string
-	spec     scenario.Spec
+	id   string
+	spec scenario.Spec
+	// tenant and priority place the task in its dispatch queue; they
+	// come from the submission that first requested the cell (identical
+	// cells from different tenants collapse in the store's
+	// single-flight, so attribution goes to the first caller).
+	tenant   string
+	priority int
+	// affinity groups tasks that share workload construction (the
+	// workload spec × seed), so dispatch can aim them at a worker whose
+	// cache already holds the bundle.
+	affinity string
 	attempts int
 	// worker is the current assignee ("" while queued).
 	worker string
@@ -56,6 +80,92 @@ type fleetTask struct {
 	err  error
 }
 
+// affinityKey derives a task's affinity group from its spec: cells
+// sharing a workload spec and seed share exactly the bundle a
+// scenario.WorkloadCache memoizes.
+func affinityKey(spec scenario.Spec) string {
+	return fmt.Sprintf("%s|%d", spec.Workload, spec.Seed)
+}
+
+// taskRing is a FIFO queue over a reusable ring buffer. Unlike the
+// fl.queue[1:] slice it replaced, every vacated slot is nilled out, so
+// a dequeued task becomes collectible the moment its result is
+// delivered — the PR-8 leak fix (the old backing array pinned every
+// completed *fleetTask, spec and done channel included, for the life
+// of the process).
+type taskRing struct {
+	buf  []*fleetTask
+	head int
+	n    int
+}
+
+// len reports the number of queued tasks.
+func (r *taskRing) len() int { return r.n }
+
+// at returns the i-th queued task (0 = oldest) without removing it.
+func (r *taskRing) at(i int) *fleetTask {
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// push appends a task, growing the ring when full.
+func (r *taskRing) push(t *fleetTask) {
+	if r.n == len(r.buf) {
+		grown := make([]*fleetTask, 2*r.n+4)
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.at(i)
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = t
+	r.n++
+}
+
+// pop removes and returns the oldest task, clearing its slot.
+func (r *taskRing) pop() *fleetTask {
+	return r.removeAt(0)
+}
+
+// removeAt removes the i-th queued task, shifting the (at most
+// affinityWindow) older entries forward one slot and clearing the
+// vacated head. Panics on out-of-range i, like a slice would.
+func (r *taskRing) removeAt(i int) *fleetTask {
+	if i < 0 || i >= r.n {
+		panic(fmt.Sprintf("taskRing.removeAt(%d) with %d queued", i, r.n))
+	}
+	t := r.at(i)
+	for j := i; j > 0; j-- {
+		r.buf[(r.head+j)%len(r.buf)] = r.buf[(r.head+j-1)%len(r.buf)]
+	}
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return t
+}
+
+// qkey identifies one dispatch queue: a tenant at a priority. Keeping
+// tenant×priority queues separate (rather than one priority-sorted
+// heap) makes fair-share selection a scan over live queues and keeps
+// every queue strictly FIFO within its class.
+type qkey struct {
+	tenant   string
+	priority int
+}
+
+// tenantStats is one tenant's dispatch accounting. queued/inflight are
+// live gauges; dispatches/requeues are monotonic counters kept for the
+// life of the process (they feed /metrics and the fair-share
+// assertions in the load harness).
+type tenantStats struct {
+	queued     int
+	inflight   int
+	dispatches int
+	requeues   int
+	// lastPick is the global pick sequence at this tenant's most recent
+	// dispatch — the round-robin tie-break among tenants with equal
+	// in-flight counts.
+	lastPick uint64
+}
+
 // fleetWorker is one fleet member's membership state.
 type fleetWorker struct {
 	id    string
@@ -64,24 +174,38 @@ type fleetWorker struct {
 	// joined and lastSeen bound the member's lease.
 	joined   time.Time
 	lastSeen time.Time
+	// affinity is the workload×seed of the member's most recent
+	// assignment — what the affinity window matches against.
+	affinity string
 	// tasks are the member's in-flight assignments, by task id.
 	tasks map[string]*fleetTask
 }
 
-// fleet tracks members and the dispatch queue. All fields are guarded
+// fleet tracks members and the dispatch queues. All fields are guarded
 // by mu; tasks resolve by closing done with raw/err already set.
 type fleet struct {
 	lease    time.Duration
 	pollWait time.Duration
+	// localCache amortizes workload construction across cells computed
+	// on the coordinator itself (the no-workers fallback path). It has
+	// its own locking.
+	localCache *scenario.WorkloadCache
 
-	mu       sync.Mutex
-	workers  map[string]*fleetWorker
-	queue    []*fleetTask
+	mu      sync.Mutex
+	workers map[string]*fleetWorker
+	queues  map[qkey]*taskRing
+	tenants map[string]*tenantStats
+	// queued is the total across all queues (Σ tenantStats.queued).
+	queued   int
+	pickSeq  uint64
 	assigned map[string]*fleetTask
 	wseq     int
 	tseq     int
 	closed   bool
-	// notify wakes one idle long-poll when the queue gains a task.
+	// localFallbacks counts cells resolved to in-process computation —
+	// no live workers, or a task that exhausted maxTaskAttempts.
+	localFallbacks int
+	// notify wakes one idle long-poll when a queue gains a task.
 	notify chan struct{}
 }
 
@@ -99,27 +223,51 @@ func newFleet(lease time.Duration) *fleet {
 		pollWait = 20 * time.Millisecond
 	}
 	return &fleet{
-		lease:    lease,
-		pollWait: pollWait,
-		workers:  make(map[string]*fleetWorker),
-		assigned: make(map[string]*fleetTask),
-		notify:   make(chan struct{}, 1),
+		lease:      lease,
+		pollWait:   pollWait,
+		localCache: scenario.NewWorkloadCache(0),
+		workers:    make(map[string]*fleetWorker),
+		queues:     make(map[qkey]*taskRing),
+		tenants:    make(map[string]*tenantStats),
+		assigned:   make(map[string]*fleetTask),
+		notify:     make(chan struct{}, 1),
 	}
 }
 
-// execute runs one cell through the fleet and blocks until its result
-// arrives (through however many lease-expiry reassignments it takes),
-// falling back to local computation when no live workers exist. It is
-// the compute function the store's single-flight invokes, so identical
-// concurrent cells reach it exactly once.
-func (fl *fleet) execute(spec scenario.Spec) (*distsgd.Result, error) {
-	t, ok := fl.enqueue(spec)
+// tenantLocked returns (creating if needed) a tenant's stats; callers
+// hold fl.mu.
+func (fl *fleet) tenantLocked(tenant string) *tenantStats {
+	ts, ok := fl.tenants[tenant]
 	if !ok {
-		return scenario.ComputeCell(spec)
+		ts = &tenantStats{}
+		fl.tenants[tenant] = ts
+	}
+	return ts
+}
+
+// computeLocal is the coordinator's in-process compute path, routed
+// through the local workload cache.
+func (fl *fleet) computeLocal(spec scenario.Spec) (*distsgd.Result, error) {
+	fl.mu.Lock()
+	fl.localFallbacks++
+	fl.mu.Unlock()
+	return fl.localCache.ComputeCell(spec)
+}
+
+// execute runs one cell through the fleet on behalf of a tenant and
+// blocks until its result arrives (through however many lease-expiry
+// reassignments it takes), falling back to local computation when no
+// live workers exist. It is the compute function the store's
+// single-flight invokes, so identical concurrent cells reach it
+// exactly once — under the first caller's tenant and priority.
+func (fl *fleet) execute(spec scenario.Spec, tenant string, priority int) (*distsgd.Result, error) {
+	t, ok := fl.enqueue(spec, tenant, priority)
+	if !ok {
+		return fl.computeLocal(spec)
 	}
 	<-t.done
 	if errors.Is(t.err, errNoWorkers) {
-		return scenario.ComputeCell(spec)
+		return fl.computeLocal(spec)
 	}
 	if t.err != nil {
 		return nil, t.err
@@ -131,9 +279,10 @@ func (fl *fleet) execute(spec scenario.Spec) (*distsgd.Result, error) {
 	return res, nil
 }
 
-// enqueue appends a task for dispatch; ok is false when the fleet has
-// no live workers (or is closed) and the caller should run locally.
-func (fl *fleet) enqueue(spec scenario.Spec) (*fleetTask, bool) {
+// enqueue appends a task to its tenant×priority queue; ok is false
+// when the fleet has no live workers (or is closed) and the caller
+// should run locally.
+func (fl *fleet) enqueue(spec scenario.Spec, tenant string, priority int) (*fleetTask, bool) {
 	fl.mu.Lock()
 	defer fl.mu.Unlock()
 	if fl.closed || len(fl.workers) == 0 {
@@ -141,13 +290,30 @@ func (fl *fleet) enqueue(spec scenario.Spec) (*fleetTask, bool) {
 	}
 	fl.tseq++
 	t := &fleetTask{
-		id:   fmt.Sprintf("t%d", fl.tseq),
-		spec: spec,
-		done: make(chan struct{}),
+		id:       fmt.Sprintf("t%d", fl.tseq),
+		spec:     spec,
+		tenant:   tenant,
+		priority: priority,
+		affinity: affinityKey(spec),
+		done:     make(chan struct{}),
 	}
-	fl.queue = append(fl.queue, t)
+	fl.pushLocked(t)
 	fl.signal()
 	return t, true
+}
+
+// pushLocked places a task on its queue and bumps the gauges; callers
+// hold fl.mu.
+func (fl *fleet) pushLocked(t *fleetTask) {
+	key := qkey{tenant: t.tenant, priority: t.priority}
+	r, ok := fl.queues[key]
+	if !ok {
+		r = &taskRing{}
+		fl.queues[key] = r
+	}
+	r.push(t)
+	fl.tenantLocked(t.tenant).queued++
+	fl.queued++
 }
 
 // signal wakes one idle poller; callers hold fl.mu. The channel is a
@@ -215,10 +381,79 @@ func (fl *fleet) member(workerID, token string) *fleetWorker {
 	return w
 }
 
-// tryAssign refreshes the member's lease and hands it the oldest
-// queued task, if any. known is false for expired, never-joined or
-// wrongly-authenticated ids — the 410 that tells a worker to rejoin.
-func (fl *fleet) tryAssign(workerID, token string) (t *fleetTask, known bool) {
+// betterLocked orders two non-empty queues for dispatch: higher
+// priority first, then the tenant with fewer in-flight tasks (the
+// fair-share invariant), then the tenant picked least recently
+// (round-robin among equals), then tenant name for determinism.
+// Callers hold fl.mu.
+func (fl *fleet) betterLocked(a, b qkey) bool {
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	sa, sb := fl.tenantLocked(a.tenant), fl.tenantLocked(b.tenant)
+	if sa.inflight != sb.inflight {
+		return sa.inflight < sb.inflight
+	}
+	if sa.lastPick != sb.lastPick {
+		return sa.lastPick < sb.lastPick
+	}
+	return a.tenant < b.tenant
+}
+
+// pickLocked chooses and removes the next task for worker w, or nil
+// when nothing is queued: best queue by betterLocked, then an affinity
+// scan of that queue's first affinityWindow entries for a task whose
+// workload×seed matches w's last assignment. Callers hold fl.mu.
+func (fl *fleet) pickLocked(w *fleetWorker) *fleetTask {
+	if fl.queued == 0 {
+		return nil
+	}
+	var bestKey qkey
+	haveBest := false
+	for k, r := range fl.queues {
+		if r.len() == 0 {
+			continue
+		}
+		if !haveBest || fl.betterLocked(k, bestKey) {
+			bestKey, haveBest = k, true
+		}
+	}
+	if !haveBest {
+		return nil
+	}
+	r := fl.queues[bestKey]
+	idx := 0
+	if w.affinity != "" {
+		for i := 0; i < r.len() && i < affinityWindow; i++ {
+			if r.at(i).affinity == w.affinity {
+				idx = i
+				break
+			}
+		}
+	}
+	t := r.removeAt(idx)
+	if r.len() == 0 {
+		delete(fl.queues, bestKey)
+	}
+	ts := fl.tenantLocked(t.tenant)
+	ts.queued--
+	fl.queued--
+	ts.inflight++
+	ts.dispatches++
+	fl.pickSeq++
+	ts.lastPick = fl.pickSeq
+	w.affinity = t.affinity
+	return t
+}
+
+// tryAssign refreshes the member's lease and hands it up to max queued
+// tasks (max < 1 is treated as 1 — the unbatched protocol). known is
+// false for expired, never-joined or wrongly-authenticated ids — the
+// 410 that tells a worker to rejoin.
+func (fl *fleet) tryAssign(workerID, token string, max int) (tasks []*fleetTask, known bool) {
+	if max < 1 {
+		max = 1
+	}
 	fl.mu.Lock()
 	defer fl.mu.Unlock()
 	w := fl.member(workerID, token)
@@ -226,35 +461,43 @@ func (fl *fleet) tryAssign(workerID, token string) (t *fleetTask, known bool) {
 		return nil, false
 	}
 	w.lastSeen = time.Now()
-	if fl.closed || len(fl.queue) == 0 {
+	if fl.closed {
 		return nil, true
 	}
-	t = fl.queue[0]
-	fl.queue = fl.queue[1:]
-	t.worker = workerID
-	t.attempts++
-	t.deadline = time.Now().Add(fl.lease)
-	fl.assigned[t.id] = t
-	w.tasks[t.id] = t
-	if len(fl.queue) > 0 {
+	for len(tasks) < max {
+		t := fl.pickLocked(w)
+		if t == nil {
+			break
+		}
+		t.worker = workerID
+		t.attempts++
+		t.deadline = time.Now().Add(fl.lease)
+		fl.assigned[t.id] = t
+		w.tasks[t.id] = t
+		tasks = append(tasks, t)
+	}
+	if fl.queued > 0 {
 		fl.signal()
 	}
-	return t, true
+	return tasks, true
 }
 
-// heartbeat refreshes a member's lease and, when the heartbeat names a
-// task assigned to that member, the task's own deadline; false means
-// the id is unknown (expired) and the worker must rejoin.
-func (fl *fleet) heartbeat(workerID, token, taskID string) bool {
+// heartbeat refreshes a member's lease and, for every named task
+// assigned to that member, the task's own deadline; false means the id
+// is unknown (expired) and the worker must rejoin.
+func (fl *fleet) heartbeat(workerID, token string, taskIDs []string) bool {
 	fl.mu.Lock()
 	defer fl.mu.Unlock()
 	w := fl.member(workerID, token)
 	if w == nil {
 		return false
 	}
-	w.lastSeen = time.Now()
-	if t, ok := fl.assigned[taskID]; ok && t.worker == workerID {
-		t.deadline = time.Now().Add(fl.lease)
+	now := time.Now()
+	w.lastSeen = now
+	for _, taskID := range taskIDs {
+		if t, ok := fl.assigned[taskID]; ok && t.worker == workerID {
+			t.deadline = now.Add(fl.lease)
+		}
 	}
 	return true
 }
@@ -276,6 +519,18 @@ func validResultBytes(raw json.RawMessage) bool {
 		return false
 	}
 	return bytes.Equal(bytes.TrimSpace(raw), again)
+}
+
+// unassignLocked removes a task from the assignment maps and releases
+// its tenant's in-flight slot; callers hold fl.mu. Every task that
+// entered the assigned state passes through here exactly once, however
+// it leaves (completion, garbage payload, expiry, shutdown).
+func (fl *fleet) unassignLocked(t *fleetTask) {
+	delete(fl.assigned, t.id)
+	if w, ok := fl.workers[t.worker]; ok {
+		delete(w.tasks, t.id)
+	}
+	fl.tenantLocked(t.tenant).inflight--
 }
 
 // complete resolves a task with a worker's report. known is false when
@@ -306,15 +561,13 @@ func (fl *fleet) complete(workerID, token, taskID string, raw json.RawMessage, e
 	if errMsg == "" && !validResultBytes(raw) {
 		// The worker is alive but talking garbage: take the task away
 		// from it and let someone else compute.
-		delete(fl.assigned, taskID)
-		delete(w.tasks, taskID)
+		fl.unassignLocked(t)
 		resolve := fl.requeueLocked(t)
 		fl.mu.Unlock()
 		resolveAll(resolve)
 		return false, true
 	}
-	delete(fl.assigned, taskID)
-	delete(w.tasks, taskID)
+	fl.unassignLocked(t)
 	fl.mu.Unlock()
 	if errMsg != "" {
 		t.err = errors.New(errMsg)
@@ -325,16 +578,17 @@ func (fl *fleet) complete(workerID, token, taskID string, raw json.RawMessage, e
 	return true, true
 }
 
-// requeueLocked returns an unassigned-again task to the queue, or —
+// requeueLocked returns an unassigned-again task to its queue, or —
 // when its attempts are exhausted — hands it back for resolution to
-// the local fallback. Callers hold fl.mu and have already removed the
-// task from the assignment maps.
+// the local fallback. Callers hold fl.mu and have already passed the
+// task through unassignLocked.
 func (fl *fleet) requeueLocked(t *fleetTask) []*fleetTask {
 	t.worker = ""
+	fl.tenantLocked(t.tenant).requeues++
 	if t.attempts >= maxTaskAttempts {
 		return []*fleetTask{t}
 	}
-	fl.queue = append(fl.queue, t)
+	fl.pushLocked(t)
 	fl.signal()
 	return nil
 }
@@ -345,6 +599,23 @@ func resolveAll(tasks []*fleetTask) {
 		t.err = errNoWorkers
 		close(t.done)
 	}
+}
+
+// drainQueuesLocked empties every queue for local-fallback resolution,
+// zeroing the queue gauges; callers hold fl.mu.
+func (fl *fleet) drainQueuesLocked() []*fleetTask {
+	var drained []*fleetTask
+	for key, r := range fl.queues {
+		for r.len() > 0 {
+			drained = append(drained, r.pop())
+		}
+		delete(fl.queues, key)
+	}
+	for _, ts := range fl.tenants {
+		ts.queued = 0
+	}
+	fl.queued = 0
+	return drained
 }
 
 // sweep expires members whose lease lapsed and assignments whose own
@@ -360,26 +631,22 @@ func (fl *fleet) sweep(now time.Time) {
 			continue
 		}
 		delete(fl.workers, id)
-		for tid, t := range w.tasks {
-			delete(fl.assigned, tid)
+		for _, t := range w.tasks {
+			fl.unassignLocked(t)
 			resolve = append(resolve, fl.requeueLocked(t)...)
 		}
 	}
 	// Task-level deadlines catch assignments a live worker lost (a poll
 	// response that never arrived) or finished but failed to report.
-	for tid, t := range fl.assigned {
+	for _, t := range fl.assigned {
 		if now.Before(t.deadline) {
 			continue
 		}
-		delete(fl.assigned, tid)
-		if w, ok := fl.workers[t.worker]; ok {
-			delete(w.tasks, tid)
-		}
+		fl.unassignLocked(t)
 		resolve = append(resolve, fl.requeueLocked(t)...)
 	}
 	if len(fl.workers) == 0 {
-		resolve = append(resolve, fl.queue...)
-		fl.queue = nil
+		resolve = append(resolve, fl.drainQueuesLocked()...)
 	}
 	fl.mu.Unlock()
 	resolveAll(resolve)
@@ -391,14 +658,16 @@ func (fl *fleet) sweep(now time.Time) {
 func (fl *fleet) close() {
 	fl.mu.Lock()
 	fl.closed = true
-	resolve := append([]*fleetTask(nil), fl.queue...)
-	fl.queue = nil
-	for id, t := range fl.assigned {
-		delete(fl.assigned, id)
+	resolve := fl.drainQueuesLocked()
+	for _, t := range fl.assigned {
 		resolve = append(resolve, t)
 	}
+	fl.assigned = make(map[string]*fleetTask)
 	for _, w := range fl.workers {
 		w.tasks = make(map[string]*fleetTask)
+	}
+	for _, ts := range fl.tenants {
+		ts.inflight = 0
 	}
 	fl.mu.Unlock()
 	for _, t := range resolve {
@@ -419,16 +688,53 @@ type fleetWorkerJSON struct {
 	LastSeenMillis int64 `json:"last_seen_millis"`
 }
 
+// fleetTenantJSON is one tenant's row in the GET /fleet reply (and the
+// per-tenant series behind GET /metrics).
+type fleetTenantJSON struct {
+	// Tenant is the submission-supplied tenant name ("default" when the
+	// submission named none).
+	Tenant string `json:"tenant"`
+	// Queued counts the tenant's tasks waiting for a poll, across all
+	// of its priority queues.
+	Queued int `json:"queued"`
+	// InFlight counts the tenant's tasks currently leased to members.
+	InFlight int `json:"in_flight"`
+	// Dispatches counts task assignments to workers since the
+	// coordinator started — the fair-share measurable.
+	Dispatches int `json:"dispatches"`
+	// Requeues counts tasks taken back from workers (lease expiry, task
+	// deadline, garbage payloads) since the coordinator started.
+	Requeues int `json:"requeues"`
+}
+
+// fleetQueueDepthJSON is one tenant×priority queue's depth, for
+// /metrics (GET /fleet aggregates per tenant instead).
+type fleetQueueDepthJSON struct {
+	// Tenant is the queue's tenant.
+	Tenant string `json:"tenant"`
+	// Priority is the queue's priority tier.
+	Priority int `json:"priority"`
+	// Depth counts queued tasks.
+	Depth int `json:"depth"`
+}
+
 // fleetStatusJSON is the GET /fleet reply.
 type fleetStatusJSON struct {
 	// Workers lists live members in join order.
 	Workers []fleetWorkerJSON `json:"workers"`
-	// Queued counts tasks waiting for a poll.
+	// Queued counts tasks waiting for a poll, across all tenants.
 	Queued int `json:"queued"`
 	// Assigned counts tasks leased to members.
 	Assigned int `json:"assigned"`
 	// LeaseMillis is the liveness lease members must beat.
 	LeaseMillis int `json:"lease_millis"`
+	// Tenants lists per-tenant queue gauges and dispatch counters,
+	// sorted by tenant name. A tenant stays listed (counters intact)
+	// after its queues drain.
+	Tenants []fleetTenantJSON `json:"tenants,omitempty"`
+	// LocalFallbacks counts cells the coordinator computed in-process
+	// (no live workers, or a task that exhausted its attempts).
+	LocalFallbacks int `json:"local_fallbacks"`
 }
 
 // status snapshots the fleet for the membership endpoint.
@@ -437,9 +743,10 @@ func (fl *fleet) status() fleetStatusJSON {
 	defer fl.mu.Unlock()
 	now := time.Now()
 	out := fleetStatusJSON{
-		Queued:      len(fl.queue),
-		Assigned:    len(fl.assigned),
-		LeaseMillis: int(fl.lease / time.Millisecond),
+		Queued:         fl.queued,
+		Assigned:       len(fl.assigned),
+		LeaseMillis:    int(fl.lease / time.Millisecond),
+		LocalFallbacks: fl.localFallbacks,
 	}
 	for _, w := range fl.workers {
 		out.Workers = append(out.Workers, fleetWorkerJSON{
@@ -455,6 +762,36 @@ func (fl *fleet) status() fleetStatusJSON {
 			return len(a) < len(b)
 		}
 		return a < b
+	})
+	for tenant, ts := range fl.tenants {
+		out.Tenants = append(out.Tenants, fleetTenantJSON{
+			Tenant:     tenant,
+			Queued:     ts.queued,
+			InFlight:   ts.inflight,
+			Dispatches: ts.dispatches,
+			Requeues:   ts.requeues,
+		})
+	}
+	sort.Slice(out.Tenants, func(i, j int) bool {
+		return out.Tenants[i].Tenant < out.Tenants[j].Tenant
+	})
+	return out
+}
+
+// queueDepths snapshots every tenant×priority queue's depth for
+// /metrics, sorted by tenant then priority.
+func (fl *fleet) queueDepths() []fleetQueueDepthJSON {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	out := make([]fleetQueueDepthJSON, 0, len(fl.queues))
+	for key, r := range fl.queues {
+		out = append(out, fleetQueueDepthJSON{Tenant: key.tenant, Priority: key.priority, Depth: r.len()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tenant != out[j].Tenant {
+			return out[i].Tenant < out[j].Tenant
+		}
+		return out[i].Priority < out[j].Priority
 	})
 	return out
 }
@@ -495,8 +832,10 @@ func (s *Server) handleFleetJoin(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, grant)
 }
 
-// handleFleetPoll leases a task to a worker (POST /fleet/poll),
-// holding the request open for the poll window when the queue is idle.
+// handleFleetPoll leases up to MaxTasks tasks to a worker (POST
+// /fleet/poll), holding the request open for the poll window when the
+// queues are idle. A MaxTasks ≤ 1 poll is answered in the unbatched
+// single-Task wire form, so pre-batching workers interoperate.
 func (s *Server) handleFleetPoll(w http.ResponseWriter, r *http.Request) {
 	body, err := shardproto.ReadBody(r.Body)
 	if err != nil {
@@ -511,14 +850,23 @@ func (s *Server) handleFleetPoll(w http.ResponseWriter, r *http.Request) {
 	deadline := time.NewTimer(s.fleet.pollWait)
 	defer deadline.Stop()
 	for {
-		t, known := s.fleet.tryAssign(req.WorkerID, req.Token)
+		tasks, known := s.fleet.tryAssign(req.WorkerID, req.Token, req.MaxTasks)
 		if !known {
 			http.Error(w, "unknown worker id (lease expired; rejoin)", http.StatusGone)
 			return
 		}
-		if t != nil {
+		if len(tasks) > 0 {
 			w.Header().Set("Content-Type", "application/json")
-			writeJSON(w, shardproto.PollResponse{Task: &shardproto.Task{ID: t.id, Spec: t.spec}})
+			var resp shardproto.PollResponse
+			if req.MaxTasks <= 1 {
+				resp.Task = &shardproto.Task{ID: tasks[0].id, Spec: tasks[0].spec}
+			} else {
+				resp.Tasks = make([]shardproto.Task, len(tasks))
+				for i, t := range tasks {
+					resp.Tasks[i] = shardproto.Task{ID: t.id, Spec: t.spec}
+				}
+			}
+			writeJSON(w, resp)
 			return
 		}
 		select {
@@ -537,8 +885,8 @@ func (s *Server) handleFleetPoll(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleFleetHeartbeat refreshes a worker's lease (POST
-// /fleet/heartbeat).
+// handleFleetHeartbeat refreshes a worker's lease and its named tasks'
+// deadlines (POST /fleet/heartbeat).
 func (s *Server) handleFleetHeartbeat(w http.ResponseWriter, r *http.Request) {
 	body, err := shardproto.ReadBody(r.Body)
 	if err != nil {
@@ -550,7 +898,11 @@ func (s *Server) handleFleetHeartbeat(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if !s.fleet.heartbeat(req.WorkerID, req.Token, req.TaskID) {
+	taskIDs := req.TaskIDs
+	if req.TaskID != "" {
+		taskIDs = append([]string{req.TaskID}, taskIDs...)
+	}
+	if !s.fleet.heartbeat(req.WorkerID, req.Token, taskIDs) {
 		http.Error(w, "unknown worker id (lease expired; rejoin)", http.StatusGone)
 		return
 	}
@@ -586,8 +938,8 @@ func (s *Server) handleFleetResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, shardproto.ResultResponse{Accepted: accepted})
 }
 
-// handleFleetStatus reports fleet membership and queue depth (GET
-// /fleet).
+// handleFleetStatus reports fleet membership, queue depth and tenant
+// counters (GET /fleet).
 func (s *Server) handleFleetStatus(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	writeJSON(w, s.fleet.status())

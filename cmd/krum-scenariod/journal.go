@@ -61,6 +61,11 @@ type journalEvent struct {
 	Matrix string `json:"matrix,omitempty"`
 	// Cells is the submit event's expanded grid.
 	Cells []scenario.Spec `json:"cells,omitempty"`
+	// Tenant is the submit event's tenant attribution; empty in
+	// pre-tenancy journals (replay normalizes it to the default).
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the submit event's dispatch tier.
+	Priority int `json:"priority,omitempty"`
 	// Index is the cell event's position in the matrix.
 	Index int `json:"index,omitempty"`
 	// Cached marks a cell event served from the store.
@@ -92,6 +97,13 @@ type checkpointMatrix struct {
 	ID string `json:"id"`
 	// Cells is the expanded grid, in submission order.
 	Cells []scenario.Spec `json:"cells"`
+	// Tenant and Priority restore the matrix's dispatch attribution on
+	// recovery, so a resumed backlog keeps its fair-share and tier
+	// placement. Empty Tenant (a pre-tenancy journal) resumes as the
+	// default tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the matrix's dispatch tier.
+	Priority int `json:"priority,omitempty"`
 	// Done lists completed cell indices — informational: recovery
 	// re-executes every cell and lets the store answer the done ones.
 	Done []int `json:"done,omitempty"`
@@ -205,7 +217,9 @@ func replayJournal(blob []byte, state *journalState) {
 				continue
 			}
 			byID[ev.Matrix] = len(state.matrices)
-			state.matrices = append(state.matrices, checkpointMatrix{ID: ev.Matrix, Cells: ev.Cells})
+			state.matrices = append(state.matrices, checkpointMatrix{
+				ID: ev.Matrix, Cells: ev.Cells, Tenant: ev.Tenant, Priority: ev.Priority,
+			})
 			if n := seqOf(ev.Matrix, 'm'); n > state.seq {
 				state.seq = n
 			}

@@ -34,20 +34,32 @@
 // many minus the ones that died — because every cell is a pure
 // function of its spec.
 //
+// The coordinator is multi-tenant: a submission may carry optional
+// "tenant" and "priority" fields alongside the matrix. Dispatch to the
+// fleet is priority-tiered with fair share inside each tier (two
+// equal-priority tenants each get about half the fleet however
+// lopsided their backlogs are), and per-tenant admission quotas answer
+// an over-quota submission with HTTP 429 plus a Retry-After hint — the
+// client resubmits later and loses nothing, because completed cells
+// replay from the store. Tenancy is journaled, so a recovered backlog
+// keeps its attribution.
+//
 // Coordinator endpoints:
 //
-//	POST /matrices               submit a scenario.Matrix (JSON); returns {id, cells, ...urls}
+//	POST /matrices               submit a scenario.Matrix (JSON, optional "tenant"/"priority");
+//	                             202 {id, cells, ...urls} or 429 + Retry-After over quota
 //	GET  /matrices               status of every submitted matrix
-//	GET  /matrices/{id}          progress: {total, completed, cached, failed, finished, aborted}
+//	GET  /matrices/{id}          progress: {tenant, priority, total, completed, cached, failed, ...}
 //	GET  /matrices/{id}/results  positional results array (null for pending cells)
 //	GET  /matrices/{id}/stream   NDJSON of cells in completion order, live until finished
 //	DELETE /matrices/{id}        evict a finished/aborted matrix from memory (store keeps its cells)
 //	POST /fleet/join             worker → coordinator: join the fleet (scenario/shardproto schema)
-//	POST /fleet/poll             worker → coordinator: long-poll for a cell task
-//	POST /fleet/heartbeat        worker → coordinator: mid-cell liveness
+//	POST /fleet/poll             worker → coordinator: long-poll for cell tasks (batched via max_tasks)
+//	POST /fleet/heartbeat        worker → coordinator: liveness, batched task deadline refresh
 //	POST /fleet/result           worker → coordinator: report a finished task
-//	GET  /fleet                  fleet membership + queue depth
+//	GET  /fleet                  fleet membership, queue depth, per-tenant dispatch counters
 //	GET  /store                  result-store counters (hits, misses, superseded, tampered, ...)
+//	GET  /metrics                Prometheus text exposition: queues, tenants, 429s, store, journal lag
 //	GET  /healthz                liveness probe; reports journal lag when -journal is set
 //
 // Shutdown (SIGINT/SIGTERM) is graceful mid-matrix in both roles: a
@@ -89,6 +101,8 @@ func run() int {
 	storeDirFlag := flag.String("store-dir", "", "segmented result store directory (live tail + sealed, hashed segments); mutually exclusive with -store")
 	journalFlag := flag.String("journal", "", "coordinator checkpoint/journal path: a restarted coordinator replays it and resumes unfinished matrices")
 	leaseFlag := flag.Duration("lease", 10*time.Second, "coordinator: worker liveness lease (a worker silent this long is presumed dead)")
+	maxPendingFlag := flag.Int("max-pending-cells", 0, "coordinator: per-tenant cap on outstanding cells; over-quota submissions get 429 + Retry-After (0 = default, negative = unlimited)")
+	maxActiveFlag := flag.Int("max-active-matrices", 0, "coordinator: per-tenant cap on live matrices (0 = default, negative = unlimited)")
 	workerFlag := flag.Bool("worker", false, "run as a fleet worker instead of a coordinator")
 	joinFlag := flag.String("join", "", "worker: coordinator base URL to join, e.g. http://host:8080")
 	flag.Parse()
@@ -135,7 +149,14 @@ func run() int {
 	if *workerFlag {
 		return runWorker(ctx, *joinFlag, *workersFlag, st)
 	}
-	return runCoordinator(ctx, *addrFlag, *workersFlag, *leaseFlag, st, *journalFlag)
+	opts := Options{
+		Workers:           *workersFlag,
+		Store:             st,
+		Lease:             *leaseFlag,
+		MaxPendingCells:   *maxPendingFlag,
+		MaxActiveMatrices: *maxActiveFlag,
+	}
+	return runCoordinator(ctx, *addrFlag, opts, *journalFlag)
 }
 
 // runWorker is the -worker role: join the fleet and execute dispatched
@@ -167,8 +188,8 @@ func runWorker(ctx context.Context, join string, slots int, st scenario.ResultSt
 
 // runCoordinator is the default role: serve matrices and the fleet,
 // resuming journaled matrices first when a journal is configured.
-func runCoordinator(ctx context.Context, addr string, workers int, lease time.Duration, st scenario.ResultStore, journalPath string) int {
-	srv := NewServer(workers, st, lease)
+func runCoordinator(ctx context.Context, addr string, opts Options, journalPath string) int {
+	srv := NewServerOptions(opts)
 	if journalPath != "" {
 		resumed, err := srv.UseJournal(journalPath)
 		if err != nil {

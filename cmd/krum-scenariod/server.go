@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -8,6 +9,8 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -58,9 +61,17 @@ type Server struct {
 	// after, so reads need no lock.
 	journal *journal
 
+	// maxPending, maxActive and tenantQuota are the admission limits
+	// (see Options); immutable after construction.
+	maxPending  int
+	maxActive   int
+	tenantQuota map[string]int
+
 	mu       sync.Mutex
 	matrices map[string]*matrixRun
 	seq      int
+	// rejected counts quota rejections (429s) per tenant, for /metrics.
+	rejected map[string]int
 	// stopped flips under mu before ctx is cancelled, so handleSubmit
 	// can refuse new work without racing wg.Add against Stop's
 	// wg.Wait.
@@ -71,6 +82,12 @@ type Server struct {
 type matrixRun struct {
 	id    string
 	cells []scenario.Spec
+	// tenant and priority come from the submission envelope and are
+	// immutable after registration: they place every one of the run's
+	// cells in the fleet's dispatch queues and attribute the run in
+	// admission control and /metrics.
+	tenant   string
+	priority int
 
 	mu sync.Mutex
 	// results is indexed by cell position (results[i] answers cells[i]);
@@ -91,23 +108,85 @@ type matrixRun struct {
 	aborted  bool
 }
 
+// defaultTenant attributes submissions that name no tenant; admission,
+// dispatch and metrics treat it like any explicitly-named tenant.
+const defaultTenant = "default"
+
+// maxPriority bounds submission priorities to [-maxPriority,
+// maxPriority] — a small closed range so "most urgent" is a knowable
+// number, not an arms race.
+const maxPriority = 9
+
+// Default admission limits (see Options).
+const (
+	defaultMaxPendingCells   = 200_000
+	defaultMaxActiveMatrices = 1024
+)
+
+// Options configures NewServerOptions. The zero value is a sensible
+// service: NumCPU pool, in-memory-less store must still be supplied by
+// the caller, 10s fleet lease, default admission limits.
+type Options struct {
+	// Workers is the shared cell pool width (0 means runtime.NumCPU()).
+	Workers int
+	// Store is the shared result store (use store.NewMemory() for a
+	// non-persistent service).
+	Store scenario.ResultStore
+	// Lease is the fleet liveness lease (0 means 10s).
+	Lease time.Duration
+	// MaxPendingCells caps one tenant's outstanding (not-yet-completed)
+	// cells: a submission from a tenant already at or past the cap is
+	// answered 429 with a Retry-After hint. The cap is checked against
+	// EXISTING pending work, so a tenant with nothing outstanding can
+	// always submit one matrix (growth stays bounded by cap + the
+	// per-submission cell limit). 0 means the default; negative
+	// disables the cap.
+	MaxPendingCells int
+	// MaxActiveMatrices caps one tenant's concurrently-live
+	// (non-terminal) matrices, same 429 semantics as MaxPendingCells.
+	// 0 means the default; negative disables the cap.
+	MaxActiveMatrices int
+	// TenantPendingCells overrides MaxPendingCells for specific
+	// tenants; a non-positive value disables the cap for that tenant.
+	TenantPendingCells map[string]int
+}
+
 // NewServer builds a Server with the given shared pool width (0 means
 // runtime.NumCPU()), result store (use store.NewMemory() for a
 // non-persistent service) and fleet liveness lease (0 means 10s; only
-// relevant once workers join).
+// relevant once workers join). Admission limits take their defaults;
+// use NewServerOptions to set them.
 func NewServer(workers int, st scenario.ResultStore, lease time.Duration) *Server {
+	return NewServerOptions(Options{Workers: workers, Store: st, Lease: lease})
+}
+
+// NewServerOptions builds a Server from the full option set.
+func NewServerOptions(opts Options) *Server {
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	maxPending := opts.MaxPendingCells
+	if maxPending == 0 {
+		maxPending = defaultMaxPendingCells
+	}
+	maxActive := opts.MaxActiveMatrices
+	if maxActive == 0 {
+		maxActive = defaultMaxActiveMatrices
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		store:    st,
-		fleet:    newFleet(lease),
-		sem:      make(chan struct{}, workers),
-		ctx:      ctx,
-		cancel:   cancel,
-		mux:      http.NewServeMux(),
-		matrices: make(map[string]*matrixRun),
+		store:       opts.Store,
+		fleet:       newFleet(opts.Lease),
+		sem:         make(chan struct{}, workers),
+		ctx:         ctx,
+		cancel:      cancel,
+		mux:         http.NewServeMux(),
+		maxPending:  maxPending,
+		maxActive:   maxActive,
+		tenantQuota: opts.TenantPendingCells,
+		matrices:    make(map[string]*matrixRun),
+		rejected:    make(map[string]int),
 	}
 	s.mux.HandleFunc("POST /matrices", s.handleSubmit)
 	s.mux.HandleFunc("GET /matrices", s.handleList)
@@ -121,6 +200,7 @@ func NewServer(workers int, st scenario.ResultStore, lease time.Duration) *Serve
 	s.mux.HandleFunc("POST /fleet/result", s.handleFleetResult)
 	s.mux.HandleFunc("GET /fleet", s.handleFleetStatus)
 	s.mux.HandleFunc("GET /store", s.handleStore)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	go s.sweepFleet()
 	return s
@@ -209,10 +289,18 @@ func (s *Server) UseJournal(path string) (resumed int, err error) {
 	}
 	var runs []*matrixRun
 	for _, cm := range state.matrices {
+		tenant := cm.Tenant
+		if tenant == "" {
+			// Journals written before the tenancy fields carry no tenant;
+			// normalizing here keeps dispatch and quotas uniform.
+			tenant = defaultTenant
+		}
 		run := &matrixRun{
-			id:      cm.ID,
-			cells:   cm.Cells,
-			results: make([]*scenario.CellResult, len(cm.Cells)),
+			id:       cm.ID,
+			cells:    cm.Cells,
+			tenant:   tenant,
+			priority: cm.Priority,
+			results:  make([]*scenario.CellResult, len(cm.Cells)),
 		}
 		s.matrices[run.id] = run
 		s.wg.Add(1)
@@ -268,9 +356,11 @@ func (s *Server) snapshot() checkpoint {
 			continue
 		}
 		cp.Matrices = append(cp.Matrices, checkpointMatrix{
-			ID:    run.id,
-			Cells: run.cells,
-			Done:  append([]int(nil), run.order...),
+			ID:       run.id,
+			Cells:    run.cells,
+			Tenant:   run.tenant,
+			Priority: run.priority,
+			Done:     append([]int(nil), run.order...),
 		})
 		run.mu.Unlock()
 	}
@@ -309,6 +399,110 @@ func tooManyCells(m scenario.Matrix) bool {
 	return false
 }
 
+// submitRequest is the POST /matrices body: a scenario.Matrix plus the
+// optional multi-tenancy envelope. The Matrix embeds, so its fields
+// stay top-level and every pre-tenancy submission body parses
+// unchanged.
+type submitRequest struct {
+	scenario.Matrix
+	// Tenant attributes the submission for fair-share dispatch,
+	// admission quotas and metrics; empty means defaultTenant. Allowed:
+	// up to 64 characters of [A-Za-z0-9._-].
+	Tenant string `json:"tenant,omitempty"`
+	// Priority places the matrix's cells in a dispatch tier (higher
+	// dispatches first; range -9..9, default 0). Fair share applies
+	// within a tier, strict precedence across tiers.
+	Priority int `json:"priority,omitempty"`
+}
+
+// parseSubmit decodes a submission envelope, rejecting unknown fields
+// like scenario.ParseMatrixJSON does for bare matrices.
+func parseSubmit(body []byte) (submitRequest, error) {
+	var req submitRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return submitRequest{}, fmt.Errorf("decoding matrix submission: %w", err)
+	}
+	return req, nil
+}
+
+// canonTenant normalizes and validates a submission's tenant name.
+func canonTenant(tenant string) (string, error) {
+	tenant = strings.TrimSpace(tenant)
+	if tenant == "" {
+		return defaultTenant, nil
+	}
+	if len(tenant) > 64 {
+		return "", fmt.Errorf("tenant name longer than 64 characters")
+	}
+	for i := 0; i < len(tenant); i++ {
+		c := tenant[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return "", fmt.Errorf("tenant name %q: only [A-Za-z0-9._-] allowed", tenant)
+		}
+	}
+	return tenant, nil
+}
+
+// pendingCellsLocked counts a tenant's outstanding cells and live
+// matrices — the quantities admission control caps. Callers hold s.mu
+// (run.tenant is immutable; the per-run progress needs run.mu, which
+// nests inside s.mu here and nowhere nests the other way).
+func (s *Server) pendingCellsLocked(tenant string) (pending, active int) {
+	for _, run := range s.matrices {
+		if run.tenant != tenant {
+			continue
+		}
+		run.mu.Lock()
+		if !run.terminal() {
+			active++
+			pending += len(run.cells) - len(run.order)
+		}
+		run.mu.Unlock()
+	}
+	return pending, active
+}
+
+// retrySeconds turns a backlog size into a Retry-After hint: one
+// second per thousand pending cells, clamped to [1, 30] — honest
+// enough to spread retries, small enough that clients re-probe soon.
+func retrySeconds(pending int) int {
+	secs := pending / 1000
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// admitLocked applies the tenant's admission limits to a new
+// submission; on rejection it returns the Retry-After hint and the 429
+// body. Callers hold s.mu.
+func (s *Server) admitLocked(tenant string) (retryAfter int, reason string, ok bool) {
+	pending, active := s.pendingCellsLocked(tenant)
+	if s.maxActive > 0 && active >= s.maxActive {
+		return retrySeconds(pending),
+			fmt.Sprintf("tenant %q has %d active matrices (limit %d); retry later", tenant, active, s.maxActive),
+			false
+	}
+	quota := s.maxPending
+	if q, has := s.tenantQuota[tenant]; has {
+		quota = q
+	}
+	if quota > 0 && pending >= quota {
+		return retrySeconds(pending),
+			fmt.Sprintf("tenant %q has %d pending cells (quota %d); retry later", tenant, pending, quota),
+			false
+	}
+	return 0, "", true
+}
+
 // submitResponse is the POST /matrices reply.
 type submitResponse struct {
 	// ID names the accepted matrix in every other endpoint.
@@ -327,6 +521,10 @@ type submitResponse struct {
 type statusJSON struct {
 	// ID is the matrix id.
 	ID string `json:"id"`
+	// Tenant attributes the matrix for dispatch and quotas.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the matrix's dispatch tier.
+	Priority int `json:"priority,omitempty"`
 	// Total is the number of cells in the matrix.
 	Total int `json:"total"`
 	// Completed counts finished cells (cached + computed + failed).
@@ -383,9 +581,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
 		return
 	}
-	m, err := scenario.ParseMatrixJSON(body)
+	req, err := parseSubmit(body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	m := req.Matrix
+	tenant, err := canonTenant(req.Tenant)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Priority < -maxPriority || req.Priority > maxPriority {
+		http.Error(w, fmt.Sprintf("priority %d out of range [%d, %d]", req.Priority, -maxPriority, maxPriority), http.StatusBadRequest)
 		return
 	}
 	// Bound the grid BEFORE expanding it: a few KB of JSON can declare
@@ -420,11 +628,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "server is shutting down", http.StatusServiceUnavailable)
 		return
 	}
+	// Admission backpressure: a tenant at its quota is told to retry,
+	// and NOTHING of the submission registers — the client resubmits
+	// the identical matrix later and completed cells replay from the
+	// store, so backpressure never loses work.
+	if retry, reason, ok := s.admitLocked(tenant); !ok {
+		s.rejected[tenant]++
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		http.Error(w, reason, http.StatusTooManyRequests)
+		return
+	}
 	s.seq++
 	run := &matrixRun{
-		id:      fmt.Sprintf("m%d", s.seq),
-		cells:   cells,
-		results: make([]*scenario.CellResult, len(cells)),
+		id:       fmt.Sprintf("m%d", s.seq),
+		cells:    cells,
+		tenant:   tenant,
+		priority: req.Priority,
+		results:  make([]*scenario.CellResult, len(cells)),
 	}
 	s.matrices[run.id] = run
 	s.wg.Add(1)
@@ -433,7 +654,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// The registration above is the state mutation; the event follows
 	// it — the ordering every checkpoint snapshot's completeness
 	// argument rests on (see journal.rewrite).
-	s.journalAppend(journalEvent{Type: "submit", Matrix: run.id, Cells: cells})
+	s.journalAppend(journalEvent{Type: "submit", Matrix: run.id, Cells: cells, Tenant: tenant, Priority: req.Priority})
 
 	go s.execute(run)
 
@@ -475,7 +696,7 @@ loop:
 				<-s.sem
 				cellWG.Done()
 			}()
-			cr := s.executeCell(i, run.cells[i])
+			cr := s.executeCell(i, run.cells[i], run.tenant, run.priority)
 			run.record(cr)
 			ev := journalEvent{Type: "cell", Matrix: run.id, Index: cr.Index, Cached: cr.Cached}
 			if cr.Err != nil {
@@ -496,9 +717,12 @@ loop:
 // (identical concurrent cells — across matrices and across the fleet —
 // collapse to one execution) with the fleet as the compute path: cells
 // dispatch to workers when any are live and run locally otherwise.
-func (s *Server) executeCell(i int, cell scenario.Spec) scenario.CellResult {
+// tenant and priority place the dispatch in its fleet queue; when the
+// single-flight collapses identical cells across tenants, the first
+// caller's attribution wins (the others wait on its result).
+func (s *Server) executeCell(i int, cell scenario.Spec, tenant string, priority int) scenario.CellResult {
 	return scenario.RunCellWith(s.store, i, cell, func() (*distsgd.Result, error) {
-		return s.fleet.execute(cell)
+		return s.fleet.execute(cell, tenant, priority)
 	})
 }
 
@@ -552,6 +776,8 @@ func (r *matrixRun) status() statusJSON {
 func (r *matrixRun) statusLocked() statusJSON {
 	return statusJSON{
 		ID:          r.id,
+		Tenant:      r.tenant,
+		Priority:    r.priority,
 		Total:       len(r.cells),
 		Completed:   len(r.order),
 		Cached:      r.cached,

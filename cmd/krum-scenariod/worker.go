@@ -6,10 +6,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
+	"krum/distsgd"
 	"krum/scenario"
 	"krum/scenario/shardproto"
 	"krum/scenario/store"
@@ -21,24 +24,30 @@ var errVersionMismatch = errors.New("worker: coordinator rejected our version")
 
 // Worker is the worker half of sharded scenario execution
 // (krum-scenariod -worker -join <coordinator>): it joins a
-// coordinator's fleet, long-polls for cell tasks across Slots
-// concurrent loops, executes each via scenario.RunCell against the
-// local engine, heartbeats while a cell trains (polling is blocked
-// then, so heartbeats are the only liveness signal), and reports the
-// stable-JSON distsgd.Result back. Because cells are pure functions of
-// their specs, a worker adds capacity without adding any source of
-// nondeterminism — results are byte-identical wherever a cell lands.
+// coordinator's fleet, long-polls for cell tasks — one batched poll
+// asking for as many tasks as it has free slots, instead of one poll
+// per slot — executes each against the local engine through a shared
+// workload cache (affinity dispatch sends it runs of cells sharing a
+// workload×seed, so dataset/model construction amortizes), heartbeats
+// all in-flight tasks in one batched message while cells train, and
+// reports each stable-JSON distsgd.Result back. Because cells are pure
+// functions of their specs and the cache only reuses immutable
+// workload bundles, a worker adds capacity without adding any source
+// of nondeterminism — results are byte-identical wherever a cell
+// lands.
 //
 // A worker whose lease expired (a long GC pause, a partition, a
 // delayed heartbeat) is told so by HTTP 410 on its next message; it
 // rejoins under a fresh identity and carries on. Any result it reports
 // for a task that was reassigned meanwhile is answered Accepted=false
-// and dropped.
+// and dropped. Transient failures back off with jitter, so a fleet of
+// workers that all lost the same coordinator does not retry in
+// lockstep.
 type Worker struct {
 	// Coordinator is the coordinator's base URL, e.g.
 	// "http://host:8080".
 	Coordinator string
-	// Slots is the number of concurrent poll-execute loops (0 means 1).
+	// Slots is the number of cells executed concurrently (0 means 1).
 	Slots int
 	// Store, when non-nil, is the worker's local result cache: hits
 	// skip training, fresh results are written through. It is
@@ -48,9 +57,12 @@ type Worker struct {
 	// Client is the HTTP client used for all coordinator calls (nil
 	// means a default with no overall timeout — polls are long).
 	Client *http.Client
-	// HeartbeatEvery overrides the mid-cell heartbeat cadence (0 means
-	// a third of the coordinator's lease).
+	// HeartbeatEvery overrides the heartbeat cadence (0 means a third
+	// of the coordinator's lease).
 	HeartbeatEvery time.Duration
+	// WorkloadCacheSize bounds the worker's workload-bundle LRU (0
+	// means scenario.DefaultWorkloadCacheSize).
+	WorkloadCacheSize int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 
@@ -61,6 +73,12 @@ type Worker struct {
 	// executed counts cells this worker finished running (whether or
 	// not the coordinator accepted the report).
 	executed int
+	// inflight holds the task ids currently executing — what the
+	// shared heartbeat names in each batched message.
+	inflight map[string]struct{}
+	// cache memoizes workload construction across tasks (lazily built
+	// so the zero-value Worker stays usable).
+	cache *scenario.WorkloadCache
 }
 
 // Executed reports how many dispatched cells this worker has finished
@@ -70,6 +88,28 @@ func (w *Worker) Executed() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.executed
+}
+
+// CacheStats reports the worker's workload-cache hits and misses —
+// how often affinity dispatch actually saved a bundle construction.
+func (w *Worker) CacheStats() (hits, misses int) {
+	w.mu.Lock()
+	c := w.cache
+	w.mu.Unlock()
+	if c == nil {
+		return 0, 0
+	}
+	return c.Stats()
+}
+
+// workloadCache returns the worker's cache, building it on first use.
+func (w *Worker) workloadCache() *scenario.WorkloadCache {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cache == nil {
+		w.cache = scenario.NewWorkloadCache(w.WorkloadCacheSize)
+	}
+	return w.cache
 }
 
 // logf forwards to Logf when set.
@@ -145,7 +185,7 @@ func (w *Worker) join(ctx context.Context, stale string) error {
 	return nil
 }
 
-// slots returns the effective loop count.
+// slots returns the effective concurrent-execution capacity.
 func (w *Worker) slots() int {
 	if w.Slots <= 0 {
 		return 1
@@ -160,6 +200,36 @@ func (w *Worker) identity() (id, token string, lease time.Duration) {
 	return w.id, w.token, w.lease
 }
 
+// addInflight registers an executing task with the shared heartbeat.
+func (w *Worker) addInflight(taskID string) {
+	w.mu.Lock()
+	if w.inflight == nil {
+		w.inflight = make(map[string]struct{})
+	}
+	w.inflight[taskID] = struct{}{}
+	w.mu.Unlock()
+}
+
+// removeInflight deregisters a finished task.
+func (w *Worker) removeInflight(taskID string) {
+	w.mu.Lock()
+	delete(w.inflight, taskID)
+	w.mu.Unlock()
+}
+
+// inflightIDs snapshots the executing task ids, sorted for stable wire
+// bytes.
+func (w *Worker) inflightIDs() []string {
+	w.mu.Lock()
+	ids := make([]string, 0, len(w.inflight))
+	for id := range w.inflight {
+		ids = append(ids, id)
+	}
+	w.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
 // Run joins the fleet and serves until ctx is cancelled. Transient
 // join failures (coordinator not up yet, a partition) are retried —
 // only a version rejection is fatal, because no amount of retrying
@@ -168,6 +238,12 @@ func (w *Worker) identity() (id, token string, lease time.Duration) {
 // discarded unreported — indistinguishable, to the coordinator, from
 // the process dying, which is the point: shutdown exercises the same
 // reassignment path as a crash.
+//
+// One dispatcher loop polls for work — asking for as many tasks as it
+// has free execution slots in a single batched request — and one
+// shared heartbeat loop refreshes every in-flight task in a single
+// batched message, so a worker's coordinator traffic stays O(1) per
+// interval however many slots it runs.
 func (w *Worker) Run(ctx context.Context) error {
 	for {
 		err := w.join(ctx, "")
@@ -181,32 +257,127 @@ func (w *Worker) Run(ctx context.Context) error {
 			return nil
 		}
 		w.logf("join: %v (retrying)", err)
-		w.pause(ctx, 500*time.Millisecond)
+		w.pause(ctx, jittered(500*time.Millisecond))
 	}
-	var wg sync.WaitGroup
-	for i := 0; i < w.slots(); i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ctx.Err() == nil {
-				w.pollOnce(ctx)
+
+	hbCtx, stopHB := context.WithCancel(ctx)
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		w.heartbeatLoop(hbCtx)
+	}()
+
+	slots := w.slots()
+	sem := make(chan struct{}, slots)
+	var taskWG sync.WaitGroup
+dispatch:
+	for ctx.Err() == nil {
+		// Block for one free slot, then sweep up any additional free
+		// slots without blocking — the batch size for this poll.
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case sem <- struct{}{}:
+		}
+		free := 1
+	sweep:
+		for free < slots {
+			select {
+			case sem <- struct{}{}:
+				free++
+			default:
+				break sweep
 			}
-		}()
+		}
+		tasks := w.pollBatch(ctx, free)
+		// Register every task with the heartbeat BEFORE execution starts,
+		// so no assignment sits unheartbeated in the gap.
+		for i := range tasks {
+			w.addInflight(tasks[i].ID)
+		}
+		for i := range tasks {
+			task := tasks[i]
+			taskWG.Add(1)
+			go func() {
+				defer func() {
+					w.removeInflight(task.ID)
+					<-sem
+					taskWG.Done()
+				}()
+				w.executeTask(ctx, task)
+			}()
+		}
+		for i := len(tasks); i < free; i++ {
+			<-sem
+		}
 	}
-	wg.Wait()
+	taskWG.Wait()
+	stopHB()
+	hbWG.Wait()
 	return nil
 }
 
-// pollOnce performs one poll → (maybe) execute → report cycle.
-func (w *Worker) pollOnce(ctx context.Context) {
+// heartbeatLoop periodically sends ONE batched heartbeat naming every
+// in-flight task (nothing when idle — the polls themselves refresh the
+// lease then). A 410 triggers an immediate rejoin so executing cells
+// get a live identity to report under.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	_, _, lease := w.identity()
+	every := w.HeartbeatEvery
+	if every <= 0 {
+		every = lease / 3
+		if every <= 0 {
+			every = time.Second
+		}
+	}
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		ids := w.inflightIDs()
+		if len(ids) == 0 {
+			continue
+		}
+		id, token, _ := w.identity()
+		status, _, err := w.post(ctx, "/fleet/heartbeat",
+			shardproto.HeartbeatRequest{WorkerID: id, Token: token, TaskIDs: ids})
+		if err != nil {
+			if ctx.Err() == nil {
+				w.logf("heartbeat: %v", err)
+			}
+			continue
+		}
+		if status == http.StatusGone {
+			w.logf("heartbeat: lease expired; rejoining")
+			if err := w.join(ctx, id); err != nil && ctx.Err() == nil {
+				w.logf("rejoin: %v (retrying)", err)
+			}
+		}
+	}
+}
+
+// pollBatch performs one poll asking for up to max tasks and returns
+// whatever the coordinator assigned (nil on idle windows and every
+// error path). All failure branches are context-guarded — a cancelled
+// poll is shutdown, not an error to log and back off from.
+func (w *Worker) pollBatch(ctx context.Context, max int) []shardproto.Task {
 	id, token, lease := w.identity()
-	status, body, err := w.post(ctx, "/fleet/poll", shardproto.PollRequest{WorkerID: id, Token: token})
+	req := shardproto.PollRequest{WorkerID: id, Token: token}
+	if max > 1 {
+		req.MaxTasks = max
+	}
+	status, body, err := w.post(ctx, "/fleet/poll", req)
 	if err != nil {
 		if ctx.Err() == nil {
 			w.logf("poll: %v (retrying)", err)
-			w.pause(ctx, lease/4)
+			w.pause(ctx, jittered(lease/4))
 		}
-		return
+		return nil
 	}
 	switch status {
 	case http.StatusOK:
@@ -214,26 +385,36 @@ func (w *Worker) pollOnce(ctx context.Context) {
 		w.logf("lease expired; rejoining")
 		if err := w.join(ctx, id); err != nil && ctx.Err() == nil {
 			w.logf("rejoin: %v (retrying)", err)
-			w.pause(ctx, lease/4)
+			w.pause(ctx, jittered(lease/4))
 		}
-		return
+		return nil
 	default:
 		if ctx.Err() == nil {
 			w.logf("poll: status %d: %s (retrying)", status, body)
-			w.pause(ctx, lease/4)
+			w.pause(ctx, jittered(lease/4))
 		}
-		return
+		return nil
 	}
 	poll, err := shardproto.DecodePollResponse(body)
 	if err != nil {
-		w.logf("poll: %v (retrying)", err)
-		w.pause(ctx, lease/4)
-		return
+		if ctx.Err() == nil {
+			w.logf("poll: %v (retrying)", err)
+			w.pause(ctx, jittered(lease/4))
+		}
+		return nil
 	}
-	if poll.Task == nil {
-		return // idle window; the poll itself refreshed the lease
+	return poll.All()
+}
+
+// jittered spreads a retry delay uniformly over [d/2, 3d/2), so
+// workers that all observed the same failure at the same moment (a
+// coordinator restart, a partition healing) do not hammer it back in
+// lockstep. d ≤ 0 falls back to 100ms before jittering.
+func jittered(d time.Duration) time.Duration {
+	if d <= 0 {
+		d = 100 * time.Millisecond
 	}
-	w.executeTask(ctx, poll.Task)
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
 }
 
 // pause sleeps without outliving ctx.
@@ -247,41 +428,16 @@ func (w *Worker) pause(ctx context.Context, d time.Duration) {
 	}
 }
 
-// executeTask runs one dispatched cell with mid-cell heartbeats and
-// reports the outcome.
-func (w *Worker) executeTask(ctx context.Context, task *shardproto.Task) {
+// executeTask runs one dispatched cell (through the worker's store
+// protocol and workload cache) and reports the outcome; the shared
+// heartbeat loop keeps the task's deadline fresh meanwhile.
+func (w *Worker) executeTask(ctx context.Context, task shardproto.Task) {
 	id, token, lease := w.identity()
-	every := w.HeartbeatEvery
-	if every <= 0 {
-		every = lease / 3
-		if every <= 0 {
-			every = time.Second
-		}
-	}
-	hbCtx, stopHB := context.WithCancel(ctx)
-	var hbWG sync.WaitGroup
-	hbWG.Add(1)
-	go func() {
-		defer hbWG.Done()
-		ticker := time.NewTicker(every)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-hbCtx.Done():
-				return
-			case <-ticker.C:
-				if _, _, err := w.post(hbCtx, "/fleet/heartbeat",
-					shardproto.HeartbeatRequest{WorkerID: id, Token: token, TaskID: task.ID}); err != nil && hbCtx.Err() == nil {
-					w.logf("heartbeat: %v", err)
-				}
-			}
-		}
-	}()
-
 	w.logf("executing %s (%s)", task.ID, task.Spec.Label())
-	cr := scenario.RunCell(w.Store, 0, task.Spec)
-	stopHB()
-	hbWG.Wait()
+	cache := w.workloadCache()
+	cr := scenario.RunCellWith(w.Store, 0, task.Spec, func() (*distsgd.Result, error) {
+		return cache.ComputeCell(task.Spec)
+	})
 	w.mu.Lock()
 	w.executed++
 	w.mu.Unlock()
@@ -315,7 +471,7 @@ func (w *Worker) executeTask(ctx context.Context, task *shardproto.Task) {
 				return
 			}
 			w.logf("reporting %s: %v (retrying)", task.ID, err)
-			w.pause(ctx, lease/4)
+			w.pause(ctx, jittered(lease/4))
 			continue
 		}
 		if status == http.StatusGone {

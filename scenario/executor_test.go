@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// cacheCell builds a small fast cell for workload-cache tests.
+func cacheCell(rule string, seed uint64) Spec {
+	return Spec{
+		Workload:  "gmm(k=3,dim=4,radius=4,sigma=0.5)",
+		Rule:      rule,
+		Schedule:  "const(gamma=0.05)",
+		N:         5,
+		F:         1,
+		Rounds:    4,
+		BatchSize: 4,
+		Seed:      seed,
+	}
+}
+
+// stableBytes is the stable JSON encoding byte-identity is judged by.
+func stableBytes(t *testing.T, res any) string {
+	t.Helper()
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestWorkloadCacheByteIdentity proves the cache's core contract: a
+// cell computed through a cached workload bundle produces bytes
+// identical to uncached computation, and cells sharing (workload,
+// seed) actually hit the cache.
+func TestWorkloadCacheByteIdentity(t *testing.T) {
+	cache := NewWorkloadCache(4)
+	cells := []Spec{
+		cacheCell("krum", 7),
+		cacheCell("average", 7),
+		cacheCell("coordmedian", 7),
+		cacheCell("krum", 8), // different seed: its own bundle
+	}
+	for i, cell := range cells {
+		cached, err := cache.ComputeCell(cell)
+		if err != nil {
+			t.Fatalf("cell %d via cache: %v", i, err)
+		}
+		fresh, err := ComputeCell(cell)
+		if err != nil {
+			t.Fatalf("cell %d fresh: %v", i, err)
+		}
+		if stableBytes(t, cached) != stableBytes(t, fresh) {
+			t.Errorf("cell %d (%s): cached workload changed the result bytes", i, cell.Label())
+		}
+	}
+	hits, misses := cache.Stats()
+	if misses != 2 {
+		t.Errorf("misses = %d, want 2 (one per distinct workload×seed)", misses)
+	}
+	if hits != 2 {
+		t.Errorf("hits = %d, want 2 (the seed-7 rule variations)", hits)
+	}
+}
+
+// TestWorkloadCacheEviction pins the LRU bound: the cache never holds
+// more bundles than its capacity, and an evicted key misses again.
+func TestWorkloadCacheEviction(t *testing.T) {
+	cache := NewWorkloadCache(2)
+	for seed := uint64(1); seed <= 3; seed++ {
+		if _, err := cache.ComputeCell(cacheCell("krum", seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := cache.order.Len(); n > 2 {
+		t.Fatalf("cache holds %d bundles, capacity 2", n)
+	}
+	// Seed 1 was evicted by 3 (LRU); recomputing it must miss.
+	_, missesBefore := cache.Stats()
+	if _, err := cache.ComputeCell(cacheCell("krum", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := cache.Stats(); misses != missesBefore+1 {
+		t.Errorf("evicted key did not miss: misses %d → %d", missesBefore, misses)
+	}
+	// Seed 3 is still resident.
+	hitsBefore, _ := cache.Stats()
+	if _, err := cache.ComputeCell(cacheCell("average", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := cache.Stats(); hits != hitsBefore+1 {
+		t.Errorf("resident key did not hit: hits %d → %d", hitsBefore, hits)
+	}
+}

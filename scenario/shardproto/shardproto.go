@@ -36,6 +36,14 @@
 // reassigned task the coordinator answers Accepted=false, and its next
 // poll is answered with HTTP 410 — the signal to rejoin under a fresh
 // identity.
+//
+// Batching: a worker with several free slots sets PollRequest.MaxTasks
+// and receives up to that many tasks in PollResponse.Tasks; a worker
+// executing several cells names them all in HeartbeatRequest.TaskIDs.
+// Both fields are optional — zero values speak the original
+// one-task-per-message protocol — so mixed-version fleets interoperate,
+// and coordinator request rate scales with heartbeat intervals rather
+// than with total slot count.
 package shardproto
 
 import (
@@ -91,13 +99,19 @@ type JoinResponse struct {
 	LeaseMillis int `json:"lease_millis"`
 }
 
-// PollRequest asks for a task; the coordinator holds the request open
+// PollRequest asks for work; the coordinator holds the request open
 // (long poll) until a task arrives or its poll window elapses.
 type PollRequest struct {
 	// WorkerID is the identity granted by JoinResponse.
 	WorkerID string `json:"worker_id"`
 	// Token is the membership secret granted by JoinResponse.
 	Token string `json:"token"`
+	// MaxTasks is how many tasks the worker can accept from this poll —
+	// its currently-free slots. 0 means 1 (the pre-batching protocol),
+	// so old workers keep working against new coordinators. Batched
+	// polls are what keep coordinator RPS flat as fleets grow: one
+	// round trip fills a whole worker instead of one slot.
+	MaxTasks int `json:"max_tasks,omitempty"`
 }
 
 // Task is one dispatched cell.
@@ -109,12 +123,26 @@ type Task struct {
 	Spec scenario.Spec `json:"spec"`
 }
 
-// PollResponse answers a poll: a task, or nothing (the poll window
-// elapsed idle — the worker just polls again; the exchange doubled as
-// a heartbeat).
+// PollResponse answers a poll: one task, a batch of tasks, or nothing
+// (the poll window elapsed idle — the worker just polls again; the
+// exchange doubled as a heartbeat).
 type PollResponse struct {
-	// Task is the dispatched cell, nil when the poll came up empty.
+	// Task is the dispatched cell, nil when the poll came up empty or
+	// the batch is carried in Tasks. At most one of Task and Tasks is
+	// set; a response carrying both is rejected.
 	Task *Task `json:"task,omitempty"`
+	// Tasks is the batched answer to a MaxTasks > 1 poll: up to
+	// MaxTasks dispatched cells. Empty means the same as a nil Task.
+	Tasks []Task `json:"tasks,omitempty"`
+}
+
+// All returns the response's tasks as one slice whichever wire form
+// carried them — the single Task, the batched Tasks, or neither.
+func (m PollResponse) All() []Task {
+	if m.Task != nil {
+		return []Task{*m.Task}
+	}
+	return m.Tasks
 }
 
 // HeartbeatRequest keeps a worker's lease alive while it executes a
@@ -129,6 +157,12 @@ type HeartbeatRequest struct {
 	// carrying it refreshes that task's own deadline as well as the
 	// worker's lease.
 	TaskID string `json:"task_id,omitempty"`
+	// TaskIDs is the batched form of TaskID: every task the worker is
+	// executing right now, so a multi-slot worker keeps all of its
+	// assignments' deadlines fresh with ONE request per heartbeat
+	// interval instead of one per slot. TaskID and TaskIDs may be used
+	// together; each named task's deadline is refreshed.
+	TaskIDs []string `json:"task_ids,omitempty"`
 }
 
 // ResultRequest reports a finished task: exactly one of Result and
@@ -233,6 +267,12 @@ func DecodeJoinResponse(data []byte) (JoinResponse, error) {
 	return m, nil
 }
 
+// MaxBatchTasks caps batched message lengths — PollRequest.MaxTasks,
+// PollResponse.Tasks and HeartbeatRequest.TaskIDs. It matches the
+// slot cap in JoinRequest: no honest worker holds more concurrent
+// assignments than it has slots.
+const MaxBatchTasks = 1 << 16
+
 // DecodePollRequest decodes and validates a PollRequest.
 func DecodePollRequest(data []byte) (PollRequest, error) {
 	var m PollRequest
@@ -245,6 +285,9 @@ func DecodePollRequest(data []byte) (PollRequest, error) {
 	if err := checkID("token", m.Token); err != nil {
 		return PollRequest{}, err
 	}
+	if m.MaxTasks < 0 || m.MaxTasks > MaxBatchTasks {
+		return PollRequest{}, fmt.Errorf("max_tasks = %d out of range: %w", m.MaxTasks, ErrBadMessage)
+	}
 	return m, nil
 }
 
@@ -254,8 +297,19 @@ func DecodePollResponse(data []byte) (PollResponse, error) {
 	if err := decodeStrict(data, &m); err != nil {
 		return PollResponse{}, err
 	}
+	if m.Task != nil && len(m.Tasks) > 0 {
+		return PollResponse{}, fmt.Errorf("both task and tasks set: %w", ErrBadMessage)
+	}
+	if len(m.Tasks) > MaxBatchTasks {
+		return PollResponse{}, fmt.Errorf("tasks has %d entries (max %d): %w", len(m.Tasks), MaxBatchTasks, ErrBadMessage)
+	}
 	if m.Task != nil {
 		if err := checkID("task id", m.Task.ID); err != nil {
+			return PollResponse{}, err
+		}
+	}
+	for _, task := range m.Tasks {
+		if err := checkID("task id", task.ID); err != nil {
 			return PollResponse{}, err
 		}
 	}
@@ -276,6 +330,14 @@ func DecodeHeartbeatRequest(data []byte) (HeartbeatRequest, error) {
 	}
 	if m.TaskID != "" && len(m.TaskID) > MaxIDBytes {
 		return HeartbeatRequest{}, fmt.Errorf("task_id exceeds %d bytes: %w", MaxIDBytes, ErrBadMessage)
+	}
+	if len(m.TaskIDs) > MaxBatchTasks {
+		return HeartbeatRequest{}, fmt.Errorf("task_ids has %d entries (max %d): %w", len(m.TaskIDs), MaxBatchTasks, ErrBadMessage)
+	}
+	for _, id := range m.TaskIDs {
+		if err := checkID("task_ids entry", id); err != nil {
+			return HeartbeatRequest{}, err
+		}
 	}
 	return m, nil
 }
