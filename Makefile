@@ -13,7 +13,7 @@ TRACKED_BENCHES ?= BenchmarkBulyanMemoized|BenchmarkScenarioMatrixRunner|Benchma
 # it up locally for a real hunt).
 FUZZTIME ?= 10s
 
-.PHONY: check check-docs fmt vet build test race shard-tests load-test fuzz-smoke bench bench-large bench-all
+.PHONY: check check-docs fmt vet build test race shard-tests tier-tests load-test fuzz-smoke bench bench-large bench-all
 
 # check is the CI gate: formatting, static analysis, build, the
 # race-detector pass over the full tree (race runs every test, so a
@@ -61,6 +61,21 @@ race:
 shard-tests:
 	$(GO) test -race -count 1 -run 'TestShard|TestChaos|TestJournal|TestSegment|TestSingleFlight|TestMonteCarlo' ./cmd/krum-scenariod ./scenario/store ./internal/harness
 	$(GO) test -race -count 1 ./scenario/shardproto
+
+# tier-tests is the kernel-tier matrix: the full vec suite under the
+# race detector plus a -short pass over the whole tree, once per
+# KRUM_KERNEL_TIER value. Forcing the knob re-runs every within-tier
+# bit-identity proof, the golden vectors, and the store/fleet salting
+# under the forced tier; an unavailable tier (e.g. avx2 on a
+# pre-Haswell box or a non-amd64 host) degrades to the auto-detected
+# one with a stderr note, so the matrix is green everywhere and only
+# gains coverage on capable hosts. Blocking in CI as its own job.
+tier-tests:
+	for tier in go sse2 avx2; do \
+		echo "=== KRUM_KERNEL_TIER=$$tier ==="; \
+		KRUM_KERNEL_TIER=$$tier $(GO) test -race -count 1 ./internal/vec/ ./internal/core/ || exit 1; \
+		KRUM_KERNEL_TIER=$$tier $(GO) test -short -count 1 ./... || exit 1; \
+	done
 
 # load-test is the in-process multi-tenant load harness: hundreds of
 # worker slots against thousands of small cells from several tenants,

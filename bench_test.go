@@ -267,6 +267,23 @@ func BenchmarkDistanceMatrix(b *testing.B) {
 			vec.NewDistanceMatrixParallel(vs, 8)
 		}
 	})
+	// Per-kernel-tier variants of the blocked build (the "blocked"
+	// subtest above runs whatever tier the process auto-selected; these
+	// pin each tier explicitly so the trajectory records the per-ISA
+	// spread — the avx2/sse2 ratio is the tentpole speedup).
+	for _, kt := range vec.AvailableTiers() {
+		b.Run("blocked-"+kt.String(), func(b *testing.B) {
+			restore, err := vec.SetKernelTier(kt)
+			if err != nil {
+				b.Skip(err)
+			}
+			defer restore()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vec.NewDistanceMatrix(vs)
+			}
+		})
+	}
 }
 
 // BenchmarkDistanceMatrixIncremental measures the cross-round
@@ -559,6 +576,24 @@ func BenchmarkKrumScreened(b *testing.B) {
 			b.ReportMetric(float64(vec.ScreenPruneCount()-start)/float64(b.N), "pruned/op")
 			b.ReportMetric(float64(st.Dots)/(float64(n)*float64(n)), "dotfrac")
 		})
+		// Per-kernel-tier screened selection: the bound computation and
+		// the exact re-check both ride the tier kernels, so the tier
+		// spread shows up here too (d = 1000 keeps the dots dominant).
+		for _, kt := range vec.AvailableTiers() {
+			b.Run(fmt.Sprintf("n=%d/d=%d/screened-%s", n, d, kt), func(b *testing.B) {
+				restore, err := vec.SetKernelTier(kt)
+				if err != nil {
+					b.Skip(err)
+				}
+				defer restore()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := screened.Select(rule, vs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"krum/distsgd"
+	"krum/internal/vec"
 	"krum/scenario"
 	"krum/scenario/shardproto"
 	"krum/scenario/store"
@@ -814,6 +815,19 @@ func (s *Server) handleFleetJoin(w http.ResponseWriter, r *http.Request) {
 	if req.Version != store.Version {
 		http.Error(w, fmt.Sprintf("version mismatch: worker %q, coordinator %q (rebuild the worker)",
 			req.Version, store.Version), http.StatusConflict)
+		return
+	}
+	// The kernel accumulation-order family is pinned exactly like the
+	// version salt: the coordinator persists worker results under keys
+	// salted with ITS order family, so a worker computing under another
+	// family would poison the store with results the coordinator's own
+	// kernels cannot bit-reproduce. Order-identical tiers (go/sse2)
+	// share a family id and mix freely; a mismatch means a genuinely
+	// different rounding order (e.g. an AVX2 worker joining a pair2
+	// coordinator) and is refused.
+	if req.Kernel != vec.KernelOrder() {
+		http.Error(w, fmt.Sprintf("kernel order mismatch: worker %q, coordinator %q (set KRUM_KERNEL_TIER to a matching tier)",
+			req.Kernel, vec.KernelOrder()), http.StatusConflict)
 		return
 	}
 	s.mu.Lock()

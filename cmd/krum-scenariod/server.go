@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"krum/distsgd"
+	"krum/internal/vec"
 	"krum/scenario"
 	"krum/scenario/store"
 )
@@ -961,6 +962,7 @@ func (s *Server) handleStore(w http.ResponseWriter, _ *http.Request) {
 		"dropped_tail_bytes": stats.DroppedTailBytes,
 		"superseded":         stats.Superseded,
 		"tampered":           stats.Tampered,
+		"foreign":            stats.Foreign,
 		"segments":           stats.Segments,
 		"seals":              stats.Seals,
 		"compactions":        stats.Compactions,
@@ -975,12 +977,23 @@ type healthJSON struct {
 	// the replay cost a crash right now would pay. Present only when a
 	// journal is attached.
 	JournalLag *int `json:"journal_lag,omitempty"`
+	// KernelTier is the active kernel tier name (vec.KernelTier — "go",
+	// "sse2", "avx2") and KernelOrder its accumulation-order family
+	// ("pair2", "fma4") — the value the fleet join handshake pins.
+	// Operators diagnosing a worker's 409 look here first.
+	KernelTier string `json:"kernel_tier"`
+	// KernelOrder is the accumulation-order family of KernelTier.
+	KernelOrder string `json:"kernel_order"`
 }
 
 // handleHealthz is the liveness probe; with a journal attached it also
 // reports the journal lag.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	out := healthJSON{Status: "ok"}
+	out := healthJSON{
+		Status:      "ok",
+		KernelTier:  vec.KernelTier().String(),
+		KernelOrder: vec.KernelOrder(),
+	}
 	if s.journal != nil {
 		lag := s.journal.Lag()
 		out.JournalLag = &lag

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"krum/internal/vec"
 	"krum/scenario"
 	"krum/scenario/shardproto"
 	"krum/scenario/store"
@@ -228,13 +229,30 @@ func TestShardFleetEndpointsRejectHostileInput(t *testing.T) {
 	// salt) must be refused membership: its cells would persist stale
 	// results under current-version keys.
 	resp0, err := ts.Client().Post(ts.URL+"/fleet/join", "application/json",
-		jsonBody(`{"slots": 1, "version": "krum-store-v0-ancient"}`))
+		jsonBody(`{"slots": 1, "version": "krum-store-v0-ancient", "kernel": "`+vec.KernelOrder()+`"}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp0.Body.Close()
 	if resp0.StatusCode != 409 {
 		t.Errorf("mismatched-version join: status %d, want 409", resp0.StatusCode)
+	}
+
+	// Same for a worker running a different kernel accumulation-order
+	// family: its results could never be bit-reproduced by the
+	// coordinator's kernels, so membership is refused with the same 409.
+	wrongOrder := "fma4"
+	if vec.KernelOrder() == "fma4" {
+		wrongOrder = "pair2"
+	}
+	respK, err := ts.Client().Post(ts.URL+"/fleet/join", "application/json",
+		jsonBody(`{"slots": 1, "version": "`+store.Version+`", "kernel": "`+wrongOrder+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	respK.Body.Close()
+	if respK.StatusCode != 409 {
+		t.Errorf("mismatched-kernel join: status %d, want 409", respK.StatusCode)
 	}
 
 	// Valid messages from a never-joined worker: 410 Gone (rejoin).
@@ -296,7 +314,7 @@ func TestShardFleetEndpointsRejectHostileInput(t *testing.T) {
 func joinFleet(t *testing.T, ts *httptest.Server) shardproto.JoinResponse {
 	t.Helper()
 	resp, err := ts.Client().Post(ts.URL+"/fleet/join", "application/json",
-		jsonBody(`{"slots": 1, "version": "`+store.Version+`"}`))
+		jsonBody(`{"slots": 1, "version": "`+store.Version+`", "kernel": "`+vec.KernelOrder()+`"}`))
 	if err != nil {
 		t.Fatal(err)
 	}

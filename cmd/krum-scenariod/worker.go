@@ -13,13 +13,16 @@ import (
 	"time"
 
 	"krum/distsgd"
+	"krum/internal/vec"
 	"krum/scenario"
 	"krum/scenario/shardproto"
 	"krum/scenario/store"
 )
 
 // errVersionMismatch marks a join rejected for carrying the wrong
-// result-semantics version — fatal, unlike transient join failures.
+// result-semantics version or kernel accumulation-order family —
+// fatal, unlike transient join failures: retrying cannot fix a build
+// or ISA mismatch.
 var errVersionMismatch = errors.New("worker: coordinator rejected our version")
 
 // Worker is the worker half of sharded scenario execution
@@ -162,7 +165,7 @@ func (w *Worker) join(ctx context.Context, stale string) error {
 	}
 	w.mu.Unlock()
 	status, body, err := w.post(ctx, "/fleet/join",
-		shardproto.JoinRequest{Slots: w.slots(), Version: store.Version})
+		shardproto.JoinRequest{Slots: w.slots(), Version: store.Version, Kernel: vec.KernelOrder()})
 	if err != nil {
 		return fmt.Errorf("joining %s: %w", w.Coordinator, err)
 	}

@@ -95,6 +95,12 @@ type Result struct {
 	// FinalTestLoss is the held-out loss at the last evaluation (NaN
 	// when never evaluated).
 	FinalTestLoss float64
+	// Kernel is the accumulation-order family (vec.Tier.Order) the run's
+	// distance kernels used — "pair2" or "fma4". Runs under the same
+	// family are bit-reproducible against each other; across families
+	// only norm-relative agreement holds (see internal/vec/gram.go), so
+	// anything comparing Results bit-for-bit must first compare Kernels.
+	Kernel string
 }
 
 // Config parameterizes Run.
@@ -311,6 +317,7 @@ func Run(cfg Config) (*Result, error) {
 		// distinguishable from a genuine zero-accuracy result.
 		FinalTestAccuracy: math.NaN(),
 		FinalTestLoss:     math.NaN(),
+		Kernel:            vec.KernelOrder(),
 	}
 
 	for t := 0; t < cfg.Rounds; t++ {

@@ -138,6 +138,7 @@ type resultJSON struct {
 	SelectionTrackedRounds  int          `json:"selection_tracked_rounds,omitempty"`
 	FinalTestAccuracy       jsonFloat    `json:"final_test_accuracy"`
 	FinalTestLoss           jsonFloat    `json:"final_test_loss"`
+	Kernel                  string       `json:"kernel,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler; see the file comment for the
@@ -153,6 +154,7 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		SelectionTrackedRounds:  r.SelectionTrackedRounds,
 		FinalTestAccuracy:       jsonFloat(r.FinalTestAccuracy),
 		FinalTestLoss:           jsonFloat(r.FinalTestLoss),
+		Kernel:                  r.Kernel,
 	})
 }
 
@@ -175,6 +177,7 @@ func (r *Result) UnmarshalJSON(b []byte) error {
 		SelectionTrackedRounds:  m.SelectionTrackedRounds,
 		FinalTestAccuracy:       float64(m.FinalTestAccuracy),
 		FinalTestLoss:           float64(m.FinalTestLoss),
+		Kernel:                  m.Kernel,
 	}
 	return nil
 }

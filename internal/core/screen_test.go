@@ -198,3 +198,45 @@ func TestScreenedCacheServesDenseRequest(t *testing.T) {
 		}
 	}
 }
+
+// TestScreenedEngineSelectsIdenticallyPerTier re-proves the screened ≡
+// dense selection equivalence under EVERY available kernel tier: the
+// screener's pruning bounds are computed from the same tier kernels as
+// the dense matrix, so whichever accumulation order is active, pruning
+// must stay exact — a bound derived under one rounding order comparing
+// against distances from another would break this.
+func TestScreenedEngineSelectsIdenticallyPerTier(t *testing.T) {
+	const n, d = 25, 129
+	f := (n - 3) / 2
+	for _, tier := range vec.AvailableTiers() {
+		t.Run(tier.String(), func(t *testing.T) {
+			restore, err := vec.SetKernelTier(tier)
+			if err != nil {
+				t.Fatalf("SetKernelTier(%v): %v", tier, err)
+			}
+			t.Cleanup(restore)
+			vs := screenTestVectors(n, f, d, 9)
+			for _, r := range []struct {
+				name string
+				rule ContextSelector
+			}{
+				{"krum", NewKrum(f)},
+				{"multikrum-5", NewMultiKrum(f, 5)},
+			} {
+				dense := NewEngine(0)
+				screened := NewEngine(0).EnableScreening()
+				want, err := SelectContext(r.rule, dense.Round(vs))
+				if err != nil {
+					t.Fatalf("%s dense: %v", r.name, err)
+				}
+				got, err := SelectContext(r.rule, screened.Round(vs))
+				if err != nil {
+					t.Fatalf("%s screened: %v", r.name, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s under %v: screened %v, dense %v", r.name, tier, got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,24 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() uint64
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL  CX, CX
+	XGETBV               // XCR0 into EDX:EAX
+	SHLQ  $32, DX
+	MOVL  AX, AX         // zero-extend the low half
+	ORQ   DX, AX
+	MOVQ  AX, ret+0(FP)
+	RET

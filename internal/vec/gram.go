@@ -10,22 +10,144 @@ package vec
 // dependency on a single accumulator, one shared load of a[k] feeding
 // four columns).
 //
-// BIT-STABILITY CONTRACT: dotPairGo defines the one canonical
-// accumulation order for an inner product — two interleaved even/odd
-// partial sums reduced as s0+s1 at the end — and every other entry
-// point (dot4 columns, norms, row updates, the parallel builder, and
-// the amd64 SSE2 assembly in gram_amd64.s, whose two 64-bit lanes ARE
-// the even/odd pair) reproduces exactly that order. IEEE-754
-// multiplication is commutative bit for bit and the k-order never
-// changes, so ⟨a,b⟩ is bit-identical whichever kernel, goroutine
-// count, or tile alignment computes it. This is what lets
-// DistanceMatrix.UpdateRow promise results identical to a full
-// rebuild, and the scenario runner promise identical results across
-// worker counts.
+// BIT-STABILITY CONTRACT (per tier — ROADMAP decision (a)): every
+// kernel TIER (tier.go) defines its own canonical accumulation order
+// for an inner product, and WITHIN a tier every entry point — dot4
+// columns, norms, row updates, the parallel builder, the screened
+// materialization, the incremental UpdateRow path — reproduces exactly
+// that order. IEEE-754 multiplication is commutative bit for bit and
+// the k-order never changes within a tier, so ⟨a,b⟩ is bit-identical
+// whichever kernel shape, goroutine count, or tile alignment computes
+// it. This is what lets DistanceMatrix.UpdateRow promise results
+// identical to a full rebuild, and the scenario runner promise
+// identical results across worker counts — all per tier.
 //
-// dotPair and dot4 (the names the matrix code calls) dispatch to the
-// assembly on amd64 and to these reference implementations elsewhere;
-// gram_test.go pins the two to exact equality.
+// The canonical order has two levels:
+//
+// DEPTH BLOCKING (both families): an inner product of dimension d is
+// accumulated in consecutive k-blocks of gramBlock elements. Each
+// block starts its lane accumulators at zero, runs the family's lane
+// order below, and reduces; the per-block results are then summed into
+// one scalar in ascending-k order. For d ≤ gramBlock this is exactly
+// the single-pass order (one block), so the golden vectors and every
+// small-dimension result are unchanged by blocking. The block seam is
+// what lets DistanceMatrix build depth-first at deep-learning
+// dimensions — all n vectors' k-slices stay cache-resident while every
+// pair consumes them — without perturbing a single bit: a pair's value
+// depends only on the k-sequence its own lanes consume, never on which
+// loop nest (pair-outer dot24 over full vectors, or block-outer
+// partial sums) drove the kernel.
+//
+// LANE ORDER (the order families):
+//
+//   - "pair2" (TierGo here, TierSSE2 in gram_amd64.s): dotPairGo's two
+//     interleaved even/odd partial sums, reduced as s0+s1. The SSE2
+//     assembly's two 64-bit XMM lanes ARE the (s0, s1) pair, so the go
+//     and sse2 tiers agree bit for bit on every input.
+//   - "fma4" (TierAVX2, reference dotFMAGo in gram_fma.go): four
+//     interleaved fused-multiply-add partial sums, reduced as
+//     (s0+s2)+(s1+s3). Fusing drops the per-term product rounding, so
+//     fma4 results differ from pair2 in the low bits.
+//
+// ACROSS tiers equality is only promised to the norm-relative
+// tolerance of dist_property_test.go's error model; anything that
+// persists or exchanges result bytes must therefore carry the order
+// id (Tier.Order): the scenario store salts keys with it, distsgd
+// records it in Result.Kernel, and the fleet join handshake pins it.
+//
+// dotPair, dot4 and dot24 (the names the matrix code calls) are the
+// blocked wrappers below; the per-block primitives dotPairBlock,
+// dot4Block and dot24Block dispatch on the active tier (gram_amd64.go
+// on amd64, this package's pure-Go references elsewhere).
+// gram_test.go pins every tier to its reference order, to fixed golden
+// vectors, and to the blocked composition at multi-block dimensions.
+
+// gramBlock is the depth-blocking factor of the canonical accumulation
+// order: inner products accumulate in k-blocks of this many elements
+// (see the contract above). It is part of the observable order — low
+// bits at d > gramBlock depend on it — so changing it is a
+// result-changing event exactly like changing a lane order: the order
+// family names would need new ids. 2048 doubles (16 KiB per vector
+// slice) keeps a 2×4 tile's six operand slices under typical L1/L2
+// budgets while amortizing the per-call reduction to noise; it is a
+// multiple of 8, so every block starts lane-phase-aligned for both
+// families. Tuned on BenchmarkDistanceMatrix at n = 40, d = 10⁴
+// against 1024/4096/unblocked.
+const gramBlock = 2048
+
+// dotPair returns ⟨a,b⟩ in the active tier's canonical blocked
+// accumulation order.
+func dotPair(a, b []float64) float64 {
+	n := len(a)
+	if n <= gramBlock {
+		return dotPairBlock(a, b)
+	}
+	b = b[:n]
+	var s float64
+	for k := 0; k < n; k += gramBlock {
+		e := k + gramBlock
+		if e > n {
+			e = n
+		}
+		s += dotPairBlock(a[k:e], b[k:e])
+	}
+	return s
+}
+
+// dot4 returns ⟨a,b0⟩, ⟨a,b1⟩, ⟨a,b2⟩, ⟨a,b3⟩ in the active tier's
+// canonical blocked order; every column is bit-identical to
+// dotPair(a, bi).
+func dot4(a, b0, b1, b2, b3 []float64) (float64, float64, float64, float64) {
+	n := len(a)
+	if n <= gramBlock {
+		return dot4Block(a, b0, b1, b2, b3)
+	}
+	b0 = b0[:n]
+	b1 = b1[:n]
+	b2 = b2[:n]
+	b3 = b3[:n]
+	var r0, r1, r2, r3 float64
+	for k := 0; k < n; k += gramBlock {
+		e := k + gramBlock
+		if e > n {
+			e = n
+		}
+		p0, p1, p2, p3 := dot4Block(a[k:e], b0[k:e], b1[k:e], b2[k:e], b3[k:e])
+		r0 += p0
+		r1 += p1
+		r2 += p2
+		r3 += p3
+	}
+	return r0, r1, r2, r3
+}
+
+// dot24 computes the 2×4 tile in the active tier's canonical blocked
+// order; see dot24Go for the output layout. Every cell is
+// bit-identical to the corresponding dotPair.
+func dot24(a0, a1, b0, b1, b2, b3 []float64, out *[8]float64) {
+	n := len(a0)
+	if n <= gramBlock {
+		dot24Block(a0, a1, b0, b1, b2, b3, out)
+		return
+	}
+	a1 = a1[:n]
+	b0 = b0[:n]
+	b1 = b1[:n]
+	b2 = b2[:n]
+	b3 = b3[:n]
+	*out = [8]float64{}
+	var t [8]float64
+	for k := 0; k < n; k += gramBlock {
+		e := k + gramBlock
+		if e > n {
+			e = n
+		}
+		dot24Block(a0[k:e], a1[k:e], b0[k:e], b1[k:e], b2[k:e], b3[k:e], &t)
+		for i := range out {
+			out[i] += t[i]
+		}
+	}
+}
 
 // dotPairGo returns ⟨a,b⟩ using the canonical two-accumulator order.
 // The two independent chains break the add-latency dependency that

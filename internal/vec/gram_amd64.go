@@ -2,12 +2,17 @@
 
 package vec
 
-// amd64 dispatch for the Gram microkernels: SSE2 is part of the amd64
-// baseline, so no feature detection is needed. The assembly keeps the
-// canonical even/odd accumulation order of dotPairGo — the two 64-bit
-// lanes of one XMM accumulator are exactly the (s0, s1) pair — so the
-// results are bit-identical to the pure-Go reference (pinned by
-// gram_test.go), just at two multiply-adds per instruction.
+// amd64 dispatch for the Gram microkernels. Three tiers share the seam
+// (see tier.go): TierGo runs the pure-Go pair2 references, TierSSE2
+// the baseline SSE2 assembly (bit-identical to TierGo — the two 64-bit
+// XMM lanes ARE dotPairGo's even/odd accumulator pair), and TierAVX2
+// the AVX2+FMA assembly in gram_avx2_amd64.s, whose four fused YMM
+// lanes implement the distinct "fma4" canonical order defined by
+// dotFMAGo. The tier is chosen once at init (CPUID probe + the
+// KRUM_KERNEL_TIER knob) and read here as one atomic load per call —
+// noise against the O(d) inner product each call performs.
+// gram_test.go pins every tier to its pure-Go reference order and to
+// fixed golden vectors.
 
 //go:noescape
 func dotSSE2(a, b *float64, n int) float64
@@ -18,20 +23,37 @@ func dot4SSE2(a, b0, b1, b2, b3 *float64, n int, out *[4]float64)
 //go:noescape
 func dot24SSE2(a0, a1, b0, b1, b2, b3 *float64, n int, out *[8]float64)
 
-// dotPair returns ⟨a,b⟩; see dotPairGo for the accumulation-order
-// contract.
-func dotPair(a, b []float64) float64 {
+//go:noescape
+func dotAVX2(a, b *float64, n int) float64
+
+//go:noescape
+func dot4AVX2(a, b0, b1, b2, b3 *float64, n int, out *[4]float64)
+
+//go:noescape
+func dot24AVX2(a0, a1, b0, b1, b2, b3 *float64, n int, out *[8]float64)
+
+// dotPairBlock returns ⟨a,b⟩ over one depth block (len ≤ gramBlock) in
+// the active tier's canonical lane order; the blocked wrapper in
+// gram.go composes it across blocks (see the contract there).
+func dotPairBlock(a, b []float64) float64 {
 	n := len(a)
 	if n == 0 {
 		return 0
 	}
 	b = b[:n]
-	return dotSSE2(&a[0], &b[0], n)
+	switch KernelTier() {
+	case TierAVX2:
+		return dotAVX2(&a[0], &b[0], n)
+	case TierGo:
+		return dotPairGo(a, b)
+	default:
+		return dotSSE2(&a[0], &b[0], n)
+	}
 }
 
-// dot4 returns ⟨a,b0⟩, ⟨a,b1⟩, ⟨a,b2⟩, ⟨a,b3⟩; see dot4Go for the
-// accumulation-order contract.
-func dot4(a, b0, b1, b2, b3 []float64) (float64, float64, float64, float64) {
+// dot4Block is the one-depth-block 1×4 tile in the active tier's lane
+// order; every column is bit-identical to dotPairBlock(a, bi).
+func dot4Block(a, b0, b1, b2, b3 []float64) (float64, float64, float64, float64) {
 	n := len(a)
 	if n == 0 {
 		return 0, 0, 0, 0
@@ -41,13 +63,20 @@ func dot4(a, b0, b1, b2, b3 []float64) (float64, float64, float64, float64) {
 	b2 = b2[:n]
 	b3 = b3[:n]
 	var out [4]float64
-	dot4SSE2(&a[0], &b0[0], &b1[0], &b2[0], &b3[0], n, &out)
+	switch KernelTier() {
+	case TierAVX2:
+		dot4AVX2(&a[0], &b0[0], &b1[0], &b2[0], &b3[0], n, &out)
+	case TierGo:
+		return dot4Go(a, b0, b1, b2, b3)
+	default:
+		dot4SSE2(&a[0], &b0[0], &b1[0], &b2[0], &b3[0], n, &out)
+	}
 	return out[0], out[1], out[2], out[3]
 }
 
-// dot24 computes the 2×4 tile; see dot24Go for the layout and
-// accumulation-order contract.
-func dot24(a0, a1, b0, b1, b2, b3 []float64, out *[8]float64) {
+// dot24Block is the one-depth-block 2×4 tile in the active tier's lane
+// order; see dot24Go for the layout.
+func dot24Block(a0, a1, b0, b1, b2, b3 []float64, out *[8]float64) {
 	n := len(a0)
 	if n == 0 {
 		*out = [8]float64{}
@@ -58,5 +87,12 @@ func dot24(a0, a1, b0, b1, b2, b3 []float64, out *[8]float64) {
 	b1 = b1[:n]
 	b2 = b2[:n]
 	b3 = b3[:n]
-	dot24SSE2(&a0[0], &a1[0], &b0[0], &b1[0], &b2[0], &b3[0], n, out)
+	switch KernelTier() {
+	case TierAVX2:
+		dot24AVX2(&a0[0], &a1[0], &b0[0], &b1[0], &b2[0], &b3[0], n, out)
+	case TierGo:
+		dot24Go(a0, a1, b0, b1, b2, b3, out)
+	default:
+		dot24SSE2(&a0[0], &a1[0], &b0[0], &b1[0], &b2[0], &b3[0], n, out)
+	}
 }

@@ -1,0 +1,61 @@
+package vec
+
+import "math"
+
+// Pure-Go reference implementations for the AVX2+FMA tier's canonical
+// accumulation order, the "fma4" family (see the contract in gram.go
+// and the tier taxonomy in tier.go).
+//
+// The order: an inner product keeps FOUR independent partial sums,
+// lane j accumulating the terms with k ≡ j (mod 4) through FUSED
+// multiply-adds (math.FMA — one rounding per term instead of two), and
+// a tail element k ≥ 4·⌊n/4⌋ joins lane k mod 4. The final reduction
+// is (s0 + s2) + (s1 + s3) — exactly what the assembly's
+// VEXTRACTF128/VADDPD/ADDSD sequence computes, with the four lanes of
+// one YMM accumulator playing s0..s3 and a masked load feeding the
+// tail lanes (a masked-out lane contributes fma(0, 0, s) = s, bit for
+// bit). math.FMA is correctly rounded on every platform (hardware FMA
+// on amd64/arm64, exact software emulation elsewhere), so these
+// references — and the golden vectors pinned in gram_test.go — are
+// portable even though the asm tier itself is amd64-only.
+
+// dotFMAGo returns ⟨a,b⟩ in the canonical fma4 order.
+func dotFMAGo(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	k := 0
+	for ; k+4 <= len(a); k += 4 {
+		s0 = math.FMA(a[k], b[k], s0)
+		s1 = math.FMA(a[k+1], b[k+1], s1)
+		s2 = math.FMA(a[k+2], b[k+2], s2)
+		s3 = math.FMA(a[k+3], b[k+3], s3)
+	}
+	// Tail lanes: element k joins lane k mod 4. The lanes are
+	// independent, so the statement order here is immaterial.
+	switch len(a) - k {
+	case 3:
+		s2 = math.FMA(a[k+2], b[k+2], s2)
+		fallthrough
+	case 2:
+		s1 = math.FMA(a[k+1], b[k+1], s1)
+		fallthrough
+	case 1:
+		s0 = math.FMA(a[k], b[k], s0)
+	}
+	return (s0 + s2) + (s1 + s3)
+}
+
+// dot4FMAGo returns ⟨a,b0⟩..⟨a,b3⟩ in the canonical fma4 order. Each
+// column keeps its own four-lane accumulator set, so every result is
+// bit-identical to dotFMAGo(a, bi) — the tile is an arrangement, never
+// a different sum, exactly as in the pair2 family.
+func dot4FMAGo(a, b0, b1, b2, b3 []float64) (r0, r1, r2, r3 float64) {
+	return dotFMAGo(a, b0), dotFMAGo(a, b1), dotFMAGo(a, b2), dotFMAGo(a, b3)
+}
+
+// dot24FMAGo is the fma4 reference for the 2×4 tile; see dot24Go for
+// the output layout.
+func dot24FMAGo(a0, a1, b0, b1, b2, b3 []float64, out *[8]float64) {
+	out[0], out[1], out[2], out[3] = dot4FMAGo(a0, b0, b1, b2, b3)
+	out[4], out[5], out[6], out[7] = dot4FMAGo(a1, b0, b1, b2, b3)
+}

@@ -1,63 +1,299 @@
 package vec
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
-// TestDotKernelsBitIdentical pins the dispatched kernels (SSE2 assembly
-// on amd64) to the pure-Go reference order: every length — including
-// the empty, single-element, and odd-length tails — must agree bit for
-// bit, not just within tolerance. On non-amd64 platforms dispatch IS
-// the reference and the test is trivially green.
+// tierRefs bundles the pure-Go reference implementations that DEFINE an
+// accumulation-order family (gram.go): the dispatched kernels of every
+// tier in the family must agree with these bit for bit.
+type tierRefs struct {
+	dotPair func(a, b []float64) float64
+	dot4    func(a, b0, b1, b2, b3 []float64) (float64, float64, float64, float64)
+	dot24   func(a0, a1, b0, b1, b2, b3 []float64, out *[8]float64)
+}
+
+func refsFor(t *testing.T, order string) tierRefs {
+	t.Helper()
+	switch order {
+	case "pair2":
+		return tierRefs{dotPairGo, dot4Go, dot24Go}
+	case "fma4":
+		return tierRefs{dotFMAGo, dot4FMAGo, dot24FMAGo}
+	}
+	t.Fatalf("no reference implementation for order family %q", order)
+	return tierRefs{}
+}
+
+// forceTier activates tier and registers the restore; tests below run
+// their whole battery once per available tier.
+func forceTier(t *testing.T, tier Tier) {
+	t.Helper()
+	restore, err := SetKernelTier(tier)
+	if err != nil {
+		t.Fatalf("SetKernelTier(%v): %v", tier, err)
+	}
+	t.Cleanup(restore)
+}
+
+// TestDotKernelsBitIdentical pins the dispatched kernels of EVERY
+// available tier to that tier's pure-Go reference order: all lengths —
+// including the empty, single-element, and every tail residue — must
+// agree bit for bit, not just within tolerance. On non-amd64 platforms
+// the only tier's dispatch IS the reference and the test is trivially
+// green; on amd64 this is the asm ≡ reference proof for SSE2 and AVX2.
 func TestDotKernelsBitIdentical(t *testing.T) {
-	rng := NewRNG(7)
-	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 33, 100, 1001} {
-		a := rng.NewNormal(n, 0, 3)
-		bs := make([][]float64, 4)
-		for i := range bs {
-			bs[i] = rng.NewNormal(n, 0, 3)
-		}
-		// Inject magnitude spread so accumulation order actually
-		// matters: a reordered sum would differ in the low bits.
-		for k := range a {
-			if k%3 == 0 {
-				a[k] *= 1e8
+	for _, tier := range AvailableTiers() {
+		t.Run(tier.String(), func(t *testing.T) {
+			forceTier(t, tier)
+			refs := refsFor(t, tier.Order())
+			rng := NewRNG(7)
+			for _, n := range []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 15, 16, 33, 100, 1001} {
+				a := rng.NewNormal(n, 0, 3)
+				bs := make([][]float64, 4)
+				for i := range bs {
+					bs[i] = rng.NewNormal(n, 0, 3)
+				}
+				// Inject magnitude spread so accumulation order actually
+				// matters: a reordered sum would differ in the low bits.
+				for k := range a {
+					if k%3 == 0 {
+						a[k] *= 1e8
+					}
+					if k%5 == 0 {
+						a[k] *= 1e-8
+					}
+				}
+				for i, b := range bs {
+					if got, want := dotPair(a, b), refs.dotPair(a, b); got != want {
+						t.Errorf("n=%d: dotPair(a, b%d) = %v, reference %v", n, i, got, want)
+					}
+				}
+				g0, g1, g2, g3 := dot4(a, bs[0], bs[1], bs[2], bs[3])
+				w0, w1, w2, w3 := refs.dot4(a, bs[0], bs[1], bs[2], bs[3])
+				for i, pair := range [][2]float64{{g0, w0}, {g1, w1}, {g2, w2}, {g3, w3}} {
+					if pair[0] != pair[1] {
+						t.Errorf("n=%d: dot4 column %d = %v, reference %v", n, i, pair[0], pair[1])
+					}
+				}
+				// dot4 columns must equal the pairwise kernel too (the tile
+				// is an arrangement, never a different sum).
+				for i, b := range bs {
+					single := refs.dotPair(a, b)
+					quad := []float64{w0, w1, w2, w3}[i]
+					if single != quad {
+						t.Errorf("n=%d: reference dot4 column %d = %v, dotPair %v", n, i, quad, single)
+					}
+				}
+				// The 2×4 tile: dispatched vs reference vs pairwise, all
+				// exact.
+				a1 := rng.NewNormal(n, 0, 3)
+				var got24, want24 [8]float64
+				dot24(a, a1, bs[0], bs[1], bs[2], bs[3], &got24)
+				refs.dot24(a, a1, bs[0], bs[1], bs[2], bs[3], &want24)
+				if got24 != want24 {
+					t.Errorf("n=%d: dot24 = %v, reference %v", n, got24, want24)
+				}
+				for i, b := range bs {
+					if want24[i] != refs.dotPair(a, b) || want24[4+i] != refs.dotPair(a1, b) {
+						t.Errorf("n=%d: reference dot24 column %d disagrees with dotPair", n, i)
+					}
+				}
 			}
-			if k%5 == 0 {
-				a[k] *= 1e-8
+		})
+	}
+}
+
+// blockedRef composes the canonical blocked order out of a family's
+// single-block reference: per-block reference sums added in ascending-k
+// order — the independent spelling of gram.go's dotPair wrapper the
+// composition test pins the dispatch against.
+func blockedRef(ref func(a, b []float64) float64, a, b []float64) float64 {
+	var s float64
+	for k := 0; k < len(a); k += gramBlock {
+		e := k + gramBlock
+		if e > len(a) {
+			e = len(a)
+		}
+		s += ref(a[k:e], b[k:e])
+	}
+	return s
+}
+
+// TestDotBlockedComposition pins the depth-blocked accumulation order
+// at multi-block dimensions for every available tier: the dispatched
+// dotPair must equal the per-block reference sums composed in
+// ascending-k order, every dot4/dot24 cell must equal that same value
+// (tile ≡ pairwise across the block seam), and the blocked result must
+// actually DIFFER from a single-pass reference sum on at least one
+// tested length — proving the block seam is an observable part of the
+// order (and therefore of the order-family salt), not a no-op.
+func TestDotBlockedComposition(t *testing.T) {
+	lengths := []int{gramBlock + 1, 2 * gramBlock, 2*gramBlock + 5, 3*gramBlock + 1807}
+	for _, tier := range AvailableTiers() {
+		t.Run(tier.String(), func(t *testing.T) {
+			forceTier(t, tier)
+			refs := refsFor(t, tier.Order())
+			rng := NewRNG(11)
+			seamObserved := false
+			for _, n := range lengths {
+				a := rng.NewNormal(n, 0, 3)
+				a1 := rng.NewNormal(n, 0, 3)
+				bs := make([][]float64, 4)
+				for i := range bs {
+					bs[i] = rng.NewNormal(n, 0, 3)
+				}
+				for k := range a {
+					if k%3 == 0 {
+						a[k] *= 1e8
+					}
+					if k%5 == 0 {
+						a[k] *= 1e-8
+					}
+				}
+				for i, b := range bs {
+					want := blockedRef(refs.dotPair, a, b)
+					if got := dotPair(a, b); got != want {
+						t.Errorf("n=%d: dotPair(a, b%d) = %v, blocked reference %v", n, i, got, want)
+					}
+					if refs.dotPair(a, b) != want {
+						seamObserved = true
+					}
+				}
+				g0, g1, g2, g3 := dot4(a, bs[0], bs[1], bs[2], bs[3])
+				var g24 [8]float64
+				dot24(a, a1, bs[0], bs[1], bs[2], bs[3], &g24)
+				for i, b := range bs {
+					want := blockedRef(refs.dotPair, a, b)
+					if got := []float64{g0, g1, g2, g3}[i]; got != want {
+						t.Errorf("n=%d: dot4 column %d = %v, blocked reference %v", n, i, got, want)
+					}
+					if g24[i] != want {
+						t.Errorf("n=%d: dot24 row 0 column %d = %v, blocked reference %v", n, i, g24[i], want)
+					}
+					if want1 := blockedRef(refs.dotPair, a1, b); g24[4+i] != want1 {
+						t.Errorf("n=%d: dot24 row 1 column %d = %v, blocked reference %v", n, i, g24[4+i], want1)
+					}
+				}
 			}
-		}
-		for i, b := range bs {
-			if got, want := dotPair(a, b), dotPairGo(a, b); got != want {
-				t.Errorf("n=%d: dotPair(a, b%d) = %v, reference %v", n, i, got, want)
+			if !seamObserved {
+				t.Error("blocked and single-pass reference sums agreed on every input; the seam test is vacuous")
 			}
+		})
+	}
+}
+
+// goldenVec deterministically builds a golden input vector from pure
+// integer arithmetic and exact float operations (a 53-bit mantissa is
+// converted exactly; the ×1e3 / ×1e-3 magnitude spread keeps every
+// element contributing to the low bits of the sum, so a dropped tail
+// lane cannot hide). No libm calls — the inputs are bit-identical on
+// every platform and Go release.
+func goldenVec(seed uint64, n int) []float64 {
+	x := seed
+	v := make([]float64, n)
+	for i := range v {
+		x = x*6364136223846793005 + 1442695040888963407
+		f := float64(x>>11)/(1<<53) - 0.5
+		switch i % 3 {
+		case 1:
+			f *= 1e3
+		case 2:
+			f *= 1e-3
 		}
-		g0, g1, g2, g3 := dot4(a, bs[0], bs[1], bs[2], bs[3])
-		w0, w1, w2, w3 := dot4Go(a, bs[0], bs[1], bs[2], bs[3])
-		for i, pair := range [][2]float64{{g0, w0}, {g1, w1}, {g2, w2}, {g3, w3}} {
-			if pair[0] != pair[1] {
-				t.Errorf("n=%d: dot4 column %d = %v, reference %v", n, i, pair[0], pair[1])
+		v[i] = f
+	}
+	return v
+}
+
+// goldenLens covers every AVX2 tail residue twice over (n mod 8 ∈ 0..7
+// and n mod 4 ∈ 0..3 for each) plus a long vector.
+var goldenLens = []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 100}
+
+// dotGoldens pins ⟨goldenVec(A,n), goldenVec(B,n)⟩ per order family as
+// raw bit patterns, one per entry of goldenLens. These were computed
+// once from the pure-Go references and hardcoded: they freeze each
+// family's canonical accumulation order forever — an "optimization"
+// that reorders a sum, a tail-handling bug, or an asm/reference drift
+// all land here as a bit mismatch. Note the families agree on short
+// vectors and split from n=8 on: fused rounding only shows once enough
+// terms accumulate.
+var dotGoldens = map[string][]uint64{
+	"pair2": {
+		0x0000000000000000, 0x3fc2a21dbd18ab28, 0xc0ebcd8cb90888a1,
+		0xc0ebcd8cb908b55f, 0xc0ebcd8e95e38d10, 0x40de81ca63ccae08,
+		0x40de81ca63cca610, 0x40de81cd2f9784b4, 0xc101d3e7236094ae,
+		0xc101d3e72360947e, 0xc101d3e6cf3455c6, 0xc0f4db754097c82c,
+		0xc0f4db754097d87a, 0xc0f4db75bbbf74e2, 0xc0fa6f69ce58f496,
+		0xc0fa6f69ce58f76e, 0xc0fa6f6b8b5840e6, 0x412c4cc48c4cd262,
+	},
+	"fma4": {
+		0x0000000000000000, 0x3fc2a21dbd18ab28, 0xc0ebcd8cb90888a1,
+		0xc0ebcd8cb908b55f, 0xc0ebcd8e95e38d10, 0x40de81ca63ccae08,
+		0x40de81ca63cca610, 0x40de81cd2f9784b4, 0xc101d3e7236094b0,
+		0xc101d3e72360947e, 0xc101d3e6cf3455c8, 0xc0f4db754097c82e,
+		0xc0f4db754097d87c, 0xc0f4db75bbbf74e4, 0xc0fa6f69ce58f496,
+		0xc0fa6f69ce58f76c, 0xc0fa6f6b8b5840e4, 0x412c4cc48c4cd261,
+	},
+}
+
+// TestDotGoldenVectors checks every order family's reference against
+// the frozen goldens (portable — both references are pure Go, so this
+// runs on every platform), then forces each available tier and checks
+// the DISPATCHED kernels against the same goldens. Together with
+// TestDotKernelsBitIdentical this pins asm ≡ reference ≡ golden.
+func TestDotGoldenVectors(t *testing.T) {
+	const seedA, seedB = 0x9e3779b97f4a7c15, 0xd1b54a32d192ed03
+	for order, goldens := range dotGoldens {
+		t.Run("reference/"+order, func(t *testing.T) {
+			refs := refsFor(t, order)
+			for i, n := range goldenLens {
+				a, b := goldenVec(seedA, n), goldenVec(seedB, n)
+				if got := math.Float64bits(refs.dotPair(a, b)); got != goldens[i] {
+					t.Errorf("n=%d: reference dot = %#016x, golden %#016x", n, got, goldens[i])
+				}
 			}
-		}
-		// dot4 columns must equal the pairwise kernel too (the tile is
-		// an arrangement, never a different sum).
-		for i, b := range bs {
-			single := dotPairGo(a, b)
-			quad := []float64{w0, w1, w2, w3}[i]
-			if single != quad {
-				t.Errorf("n=%d: dot4Go column %d = %v, dotPairGo %v", n, i, quad, single)
+		})
+	}
+	for _, tier := range AvailableTiers() {
+		t.Run("dispatch/"+tier.String(), func(t *testing.T) {
+			forceTier(t, tier)
+			goldens := dotGoldens[tier.Order()]
+			for i, n := range goldenLens {
+				a, b := goldenVec(seedA, n), goldenVec(seedB, n)
+				if got := math.Float64bits(dotPair(a, b)); got != goldens[i] {
+					t.Errorf("n=%d: dotPair = %#016x, golden %#016x", n, got, goldens[i])
+				}
+				g0, g1, g2, g3 := dot4(a, b, b, b, b)
+				for col, g := range []float64{g0, g1, g2, g3} {
+					if math.Float64bits(g) != goldens[i] {
+						t.Errorf("n=%d: dot4 column %d = %#016x, golden %#016x", n, col, math.Float64bits(g), goldens[i])
+					}
+				}
+				var out [8]float64
+				dot24(a, a, b, b, b, b, &out)
+				for col, g := range out {
+					if math.Float64bits(g) != goldens[i] {
+						t.Errorf("n=%d: dot24 column %d = %#016x, golden %#016x", n, col, math.Float64bits(g), goldens[i])
+					}
+				}
 			}
+		})
+	}
+}
+
+// TestOrderFamiliesDistinct documents that pair2 and fma4 are REAL
+// distinct orders — on long-enough inputs their goldens differ — so the
+// store-key salt and handshake pin are load-bearing, not ceremonial.
+func TestOrderFamiliesDistinct(t *testing.T) {
+	differ := false
+	for i := range goldenLens {
+		if dotGoldens["pair2"][i] != dotGoldens["fma4"][i] {
+			differ = true
 		}
-		// The 2×4 tile: dispatched vs reference vs pairwise, all exact.
-		a1 := rng.NewNormal(n, 0, 3)
-		var got24, want24 [8]float64
-		dot24(a, a1, bs[0], bs[1], bs[2], bs[3], &got24)
-		dot24Go(a, a1, bs[0], bs[1], bs[2], bs[3], &want24)
-		if got24 != want24 {
-			t.Errorf("n=%d: dot24 = %v, reference %v", n, got24, want24)
-		}
-		for i, b := range bs {
-			if want24[i] != dotPairGo(a, b) || want24[4+i] != dotPairGo(a1, b) {
-				t.Errorf("n=%d: dot24Go column %d disagrees with dotPairGo", n, i)
-			}
-		}
+	}
+	if !differ {
+		t.Fatal("pair2 and fma4 goldens are identical on every length; the order-family distinction is vacuous")
 	}
 }

@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package vec
+
+// Non-amd64 platforms run only the portable pure-Go tier. Its "pair2"
+// order is shared with amd64's SSE2 tier, so results (and store keys)
+// agree bit for bit across a mixed go/sse2 fleet.
+func availableTiers() []Tier { return []Tier{TierGo} }

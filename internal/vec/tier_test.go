@@ -1,0 +1,104 @@
+package vec
+
+import "testing"
+
+// TestParseTier pins the spec names round-tripping through String, the
+// case/whitespace tolerance, and rejection of unknown names.
+func TestParseTier(t *testing.T) {
+	for _, tier := range []Tier{TierGo, TierSSE2, TierAVX2, TierAVX512} {
+		got, err := ParseTier(tier.String())
+		if err != nil || got != tier {
+			t.Errorf("ParseTier(%q) = %v, %v; want %v", tier.String(), got, err, tier)
+		}
+	}
+	if got, err := ParseTier("  AvX2 "); err != nil || got != TierAVX2 {
+		t.Errorf("ParseTier with case/space = %v, %v; want TierAVX2", got, err)
+	}
+	if _, err := ParseTier("avx9000"); err == nil {
+		t.Error("ParseTier accepted an unknown tier name")
+	}
+	if _, err := ParseTier(""); err == nil {
+		t.Error("ParseTier accepted the empty string")
+	}
+}
+
+// TestTierOrder pins the order-family mapping the store salt and join
+// handshake depend on: go and sse2 share pair2 (they are bit-identical,
+// so sharing cached results is correct), avx2 alone is fma4.
+func TestTierOrder(t *testing.T) {
+	if TierGo.Order() != "pair2" || TierSSE2.Order() != "pair2" {
+		t.Errorf("go/sse2 orders = %q/%q, want pair2/pair2", TierGo.Order(), TierSSE2.Order())
+	}
+	if TierAVX2.Order() != "fma4" {
+		t.Errorf("avx2 order = %q, want fma4", TierAVX2.Order())
+	}
+	if TierGo.Order() == TierAVX2.Order() {
+		t.Error("go and avx2 share an order family; the cross-tier salt would be vacuous")
+	}
+}
+
+// TestAvailableTiers checks the availability set's invariants: TierGo
+// is always present and first, the active tier is available, and
+// TierAvailable agrees with the slice.
+func TestAvailableTiers(t *testing.T) {
+	tiers := AvailableTiers()
+	if len(tiers) == 0 || tiers[0] != TierGo {
+		t.Fatalf("AvailableTiers() = %v; want TierGo first", tiers)
+	}
+	if !TierAvailable(KernelTier()) {
+		t.Errorf("active tier %v not in available set %v", KernelTier(), tiers)
+	}
+	for _, tier := range tiers {
+		if !TierAvailable(tier) {
+			t.Errorf("TierAvailable(%v) = false but AvailableTiers lists it", tier)
+		}
+	}
+	if TierAvailable(TierAVX512) {
+		t.Error("TierAVX512 reported available; it is a stub with no kernels")
+	}
+	// The returned slice is a copy: mutating it must not corrupt the
+	// process's availability set.
+	tiers[0] = TierAVX512
+	if TierAvailable(TierAVX512) {
+		t.Error("mutating AvailableTiers() result changed the availability set")
+	}
+}
+
+// TestSetKernelTierRestore checks the force/restore protocol tests and
+// the env-knob path rely on, and that unavailable tiers are refused
+// without side effects.
+func TestSetKernelTierRestore(t *testing.T) {
+	initial := KernelTier()
+	restore, err := SetKernelTier(TierGo)
+	if err != nil {
+		t.Fatalf("SetKernelTier(TierGo): %v", err)
+	}
+	if KernelTier() != TierGo {
+		t.Errorf("after SetKernelTier(TierGo), KernelTier() = %v", KernelTier())
+	}
+	if _, err := SetKernelTier(TierAVX512); err == nil {
+		t.Error("SetKernelTier(TierAVX512) succeeded; the stub tier has no kernels")
+	}
+	if KernelTier() != TierGo {
+		t.Errorf("failed SetKernelTier changed the tier to %v", KernelTier())
+	}
+	restore()
+	if KernelTier() != initial {
+		t.Errorf("restore left tier %v, want %v", KernelTier(), initial)
+	}
+}
+
+// TestKernelOrderMatchesTier ties the package-level shorthands to the
+// active tier.
+func TestKernelOrderMatchesTier(t *testing.T) {
+	for _, tier := range AvailableTiers() {
+		restore, err := SetKernelTier(tier)
+		if err != nil {
+			t.Fatalf("SetKernelTier(%v): %v", tier, err)
+		}
+		if KernelTier() != tier || KernelOrder() != tier.Order() {
+			t.Errorf("forced %v: KernelTier()=%v KernelOrder()=%q", tier, KernelTier(), KernelOrder())
+		}
+		restore()
+	}
+}

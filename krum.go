@@ -93,6 +93,7 @@ package krum
 import (
 	"krum/internal/core"
 	"krum/internal/sgd"
+	"krum/internal/vec"
 )
 
 // Rule is the parameter server's choice function F (paper Section 2).
@@ -335,3 +336,23 @@ func ScheduleInverseTStretched(gamma, power, t0 float64) Schedule {
 func ScheduleStep(gamma float64, every int, factor float64) Schedule {
 	return sgd.Step{Gamma: gamma, Every: every, Factor: factor}
 }
+
+// KernelTier is the identity of one Gram-microkernel implementation
+// tier (see internal/vec): "go", "sse2" or "avx2", selected once at
+// process start from CPU feature detection and the KRUM_KERNEL_TIER
+// environment knob. Each tier defines a canonical floating-point
+// accumulation order; results are bit-reproducible within a tier's
+// order family and norm-relative-close across families.
+type KernelTier = vec.Tier
+
+// ActiveKernelTier returns the kernel tier every distance computation
+// in this process dispatches to.
+func ActiveKernelTier() KernelTier { return vec.KernelTier() }
+
+// ActiveKernelOrder returns the active tier's accumulation-order family
+// id ("pair2" or "fma4") — the identity distsgd.Result.Kernel records,
+// the scenario store salts keys with, and the fleet join handshake
+// pins. Two processes sharing an order id produce bit-identical
+// results on identical inputs; processes with different ids agree only
+// to norm-relative tolerance.
+func ActiveKernelOrder() string { return vec.KernelOrder() }

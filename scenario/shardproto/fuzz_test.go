@@ -15,6 +15,8 @@ func FuzzDecodeMessage(f *testing.F) {
 	for _, seed := range []string{
 		`{"slots": 4}`,
 		`{"slots": 4, "version": "krum-store-v1"}`,
+		`{"slots": 4, "version": "krum-store-v2", "kernel": "fma4"}`,
+		`{"slots": 4, "version": "krum-store-v2", "kernel": ""}`,
 		`{"worker_id": "w1", "token": "c0ffee", "lease_millis": 10000}`,
 		`{"worker_id": "w1", "token": "c0ffee"}`,
 		`{"worker_id": "w1"}`,

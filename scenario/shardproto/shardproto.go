@@ -82,6 +82,15 @@ type JoinRequest struct {
 	// persists under new-version keys — a silent, permanent stale-serve
 	// that the salt exists to prevent.
 	Version string `json:"version"`
+	// Kernel is the worker's kernel accumulation-order family
+	// (vec.KernelOrder — "pair2" or "fma4"). The coordinator pins it
+	// exactly like Version, rejecting a mismatch with HTTP 409: the
+	// coordinator's store keys are salted with ITS order family, so a
+	// worker computing under a different order would persist results the
+	// coordinator's own kernels cannot bit-reproduce. Order-identical
+	// tiers (pure-Go and SSE2) carry the same family id and mix freely
+	// in one fleet.
+	Kernel string `json:"kernel"`
 }
 
 // JoinResponse grants membership.
@@ -244,6 +253,9 @@ func DecodeJoinRequest(data []byte) (JoinRequest, error) {
 		return JoinRequest{}, fmt.Errorf("slots = %d out of range: %w", m.Slots, ErrBadMessage)
 	}
 	if err := checkID("version", m.Version); err != nil {
+		return JoinRequest{}, err
+	}
+	if err := checkID("kernel", m.Kernel); err != nil {
 		return JoinRequest{}, err
 	}
 	return m, nil

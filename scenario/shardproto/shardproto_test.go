@@ -34,7 +34,7 @@ func TestDecodeRoundTrips(t *testing.T) {
 		msg    any
 		decode func([]byte) (any, error)
 	}{
-		"join request": {JoinRequest{Slots: 4, Version: "krum-store-v1"}, func(b []byte) (any, error) { return DecodeJoinRequest(b) }},
+		"join request": {JoinRequest{Slots: 4, Version: "krum-store-v1", Kernel: "pair2"}, func(b []byte) (any, error) { return DecodeJoinRequest(b) }},
 		"join response": {JoinResponse{WorkerID: "w1", Token: "c0ffee", LeaseMillis: 10_000},
 			func(b []byte) (any, error) { return DecodeJoinResponse(b) }},
 		"poll request":        {PollRequest{WorkerID: "w1", Token: "c0ffee"}, func(b []byte) (any, error) { return DecodePollRequest(b) }},
@@ -82,6 +82,8 @@ func TestDecodeRejectsHostileInput(t *testing.T) {
 		"negative slots":   {`{"slots": -1, "version": "v1"}`, func(b []byte) error { _, err := DecodeJoinRequest(b); return err }},
 		"huge slots":       {`{"slots": 1000000, "version": "v1"}`, func(b []byte) error { _, err := DecodeJoinRequest(b); return err }},
 		"missing version":  {`{"slots": 1}`, func(b []byte) error { _, err := DecodeJoinRequest(b); return err }},
+		"missing kernel":   {`{"slots": 1, "version": "v1"}`, func(b []byte) error { _, err := DecodeJoinRequest(b); return err }},
+		"oversized kernel": {`{"slots": 1, "version": "v1", "kernel": "` + long + `"}`, func(b []byte) error { _, err := DecodeJoinRequest(b); return err }},
 		"zero lease":       {`{"worker_id": "w1", "token": "t", "lease_millis": 0}`, func(b []byte) error { _, err := DecodeJoinResponse(b); return err }},
 		"grant sans token": {`{"worker_id": "w1", "lease_millis": 1000}`, func(b []byte) error { _, err := DecodeJoinResponse(b); return err }},
 		"task without id":  {`{"task": {"spec": {}}}`, func(b []byte) error { _, err := DecodePollResponse(b); return err }},

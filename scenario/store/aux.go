@@ -8,6 +8,7 @@ import (
 	"krum/attack"
 	"krum/internal/core"
 	"krum/internal/sgd"
+	"krum/internal/vec"
 	"krum/scenario"
 )
 
@@ -94,8 +95,15 @@ func KeyAux(kind string, s scenario.Spec, params string) (string, error) {
 	return keyOfAuxCanonical(kind, c, params)
 }
 
-// keyOfAuxCanonical hashes an already-canonical aux identity.
+// keyOfAuxCanonical hashes an already-canonical aux identity under the
+// active order family.
 func keyOfAuxCanonical(kind string, c scenario.Spec, params string) (string, error) {
+	return keyOfAuxCanonicalWith(vec.KernelOrder(), kind, c, params)
+}
+
+// keyOfAuxCanonicalWith hashes an already-canonical aux identity under
+// an explicit order-family salt (the foreign re-derivation path).
+func keyOfAuxCanonicalWith(order, kind string, c scenario.Spec, params string) (string, error) {
 	if strings.TrimSpace(kind) == "" {
 		return "", fmt.Errorf("empty aux kind: %w", ErrStore)
 	}
@@ -103,7 +111,7 @@ func keyOfAuxCanonical(kind string, c scenario.Spec, params string) (string, err
 	if err != nil {
 		return "", fmt.Errorf("marshaling aux identity for hashing: %w: %w", err, ErrStore)
 	}
-	return hashKey(blob), nil
+	return hashKeyWith(order, blob), nil
 }
 
 // LookupAux returns the stored payload for an auxiliary identity, if

@@ -294,11 +294,14 @@ func (s *Store) sealLocked() error {
 
 // Compact merges every sealed segment into one, last write per key
 // winning, dropping superseded records and records or segments that
-// fail their integrity checks, then removes the merged inputs. Lookups
-// are unchanged by construction — compaction rewrites where bytes
-// live, never which bytes a key resolves to. The tail is untouched. A
-// store without a backend errors; a store whose segments are already
-// fully compacted is a no-op.
+// fail their integrity checks, then removes the merged inputs. Foreign
+// records — another kernel-order family's intact entries — are NOT
+// integrity failures and merge through, so compacting under one family
+// never loses the other family's results. Lookups are unchanged by
+// construction — compaction rewrites where bytes live, never which
+// bytes a key resolves to. The tail is untouched. A store without a
+// backend errors; a store whose segments are already fully compacted
+// is a no-op.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -328,9 +331,13 @@ func (s *Store) Compact() error {
 		}
 		for _, line := range splitLines(data) {
 			_, key, v := decodeLine(line)
-			if v != lineOK {
-				// Malformed and key-mismatched lines are dropped by the
-				// merge; they were counted when Open replayed them.
+			if v != lineOK && v != lineForeign {
+				// Malformed and tampered lines are dropped by the merge;
+				// they were counted when Open replayed them. Foreign
+				// records (another kernel-order family's intact entries)
+				// merge through under their own stored keys — those are
+				// collision-free with ours because the salt differs, so
+				// last-write-wins stays per-family correct.
 				dropped = v != lineEmpty
 				continue
 			}

@@ -62,6 +62,7 @@ import (
 	"krum/distsgd"
 	"krum/internal/core"
 	"krum/internal/sgd"
+	"krum/internal/vec"
 	"krum/scenario"
 	"krum/workload"
 )
@@ -71,7 +72,10 @@ import (
 // attacks, schedules, workloads, protocol, Result encoding) can alter
 // the result a spec produces: all existing store entries then miss and
 // recompute — the invalidation rule documented in the package comment.
-const Version = "krum-store-v1"
+//
+// v2: distsgd.Result gained the Kernel metadata field (the stable
+// encoding changed) and keys gained the kernel-order salt below.
+const Version = "krum-store-v2"
 
 // ErrStore is the sentinel wrapped by store failures.
 var ErrStore = errors.New("store: error")
@@ -152,22 +156,47 @@ func Key(s scenario.Spec) (string, error) {
 	return keyOfCanonical(c)
 }
 
-// keyOfCanonical hashes an already-canonical spec.
+// keyOfCanonical hashes an already-canonical spec under the active
+// order family.
 func keyOfCanonical(c scenario.Spec) (string, error) {
+	return keyOfCanonicalWith(vec.KernelOrder(), c)
+}
+
+// keyOfCanonicalWith hashes an already-canonical spec under an explicit
+// order-family salt — the re-derivation path for records written by
+// ANOTHER family (see decodeLine's foreign verdict).
+func keyOfCanonicalWith(order string, c scenario.Spec) (string, error) {
 	blob, err := json.Marshal(c)
 	if err != nil {
 		return "", fmt.Errorf("marshaling spec for hashing: %w: %w", err, ErrStore)
 	}
-	return hashKey(blob), nil
+	return hashKeyWith(order, blob), nil
 }
 
 // hashKey renders the content address of a hashed identity blob,
-// salted with Version. Cell keys hash a canonical spec's JSON and aux
+// salted with Version AND the active kernel accumulation-order family
+// (vec.KernelOrder). Cell keys hash a canonical spec's JSON and aux
 // keys an auxIdentity's JSON — the two preimage families start with
 // different JSON structure, so they cannot collide.
+//
+// The kernel salt is the order FAMILY, not the tier name: tiers with
+// the same canonical accumulation order produce bit-identical results
+// (pinned in internal/vec's gram_test.go), so a pure-Go worker and an
+// SSE2 worker deliberately share keys — while a result computed under
+// the fma4 (AVX2) order can never be served to a pair2 process, whose
+// cold run would produce different low bits. A tier switch (new CPU,
+// KRUM_KERNEL_TIER change) across order families therefore orphans
+// entries exactly like a Version bump, per order family.
 func hashKey(blob []byte) string {
+	return hashKeyWith(vec.KernelOrder(), blob)
+}
+
+// hashKeyWith is hashKey under an explicit order-family salt.
+func hashKeyWith(order string, blob []byte) string {
 	h := sha256.New()
 	h.Write([]byte(Version))
+	h.Write([]byte{'\n'})
+	h.Write([]byte(order))
 	h.Write([]byte{'\n'})
 	h.Write(blob)
 	return "sha256:" + hex.EncodeToString(h.Sum(nil))
@@ -180,6 +209,15 @@ type record struct {
 	// Version is the salt in effect at write time (informational — the
 	// salt is already baked into Key).
 	Version string `json:"version"`
+	// Kernel is the accumulation-order family (vec.Tier.Order) active at
+	// write time. Unlike Version it is load-bearing: a record whose Key
+	// fails re-derivation under the ACTIVE family is re-checked against
+	// its own declared family, and if intact under that salt it is
+	// classified foreign (another family's valid entry — never served
+	// here, but preserved by Compact) instead of tampered. Altering the
+	// stored identity after hashing still fails BOTH derivations, so
+	// this weakens no integrity check.
+	Kernel string `json:"kernel,omitempty"`
 	// Kind discriminates the record family: empty for distsgd cell
 	// results (scenario.ResultStore records), a harness kind such as
 	// "table1" or "ablation" for auxiliary Monte-Carlo records (see
@@ -198,12 +236,28 @@ type record struct {
 }
 
 // deriveKey recomputes the record's content address from its stored
-// identity — the tamper/stale check Open applies to every line.
+// identity under the active order family — the tamper/stale check Open
+// applies to every line.
 func (r record) deriveKey() (string, error) {
+	return r.deriveKeyWith(vec.KernelOrder())
+}
+
+// deriveKeyWith recomputes the record's content address under an
+// explicit order-family salt; decodeLine uses it with the record's own
+// stored Kernel to distinguish foreign records from tampered ones.
+func (r record) deriveKeyWith(order string) (string, error) {
 	if r.Kind == "" {
-		return Key(r.Spec)
+		c, err := Canonical(r.Spec)
+		if err != nil {
+			return "", err
+		}
+		return keyOfCanonicalWith(order, c)
 	}
-	return KeyAux(r.Kind, r.Spec, r.Params)
+	c, err := CanonicalAux(r.Spec)
+	if err != nil {
+		return "", err
+	}
+	return keyOfAuxCanonicalWith(order, r.Kind, c, r.Params)
 }
 
 // Stats is a snapshot of a store's counters.
@@ -218,9 +272,10 @@ type Stats struct {
 	FlightWaits int
 	// Saves counts successful Save calls since Open.
 	Saves int
-	// SkippedRecords counts records dropped at Open time: malformed
-	// lines, key mismatches (tampered or stale-salt entries), or
-	// undecodable results. Skipped records are never served.
+	// SkippedRecords counts records dropped from the index at Open
+	// time: malformed lines, key mismatches (tampered or stale-salt
+	// entries), foreign-family records, or undecodable results.
+	// Skipped records are never served by this process.
 	SkippedRecords int
 	// DroppedTailBytes is the size of the torn final line Open
 	// discarded (0 for a clean file).
@@ -235,8 +290,16 @@ type Stats struct {
 	// identity, plus whole sealed segments whose content hash did not
 	// match the hash in their name (each such segment counts once and
 	// is skipped wholesale). Tampered data is never served; the
-	// affected cells recompute.
+	// affected cells recompute. Records written under a DIFFERENT
+	// kernel-order family are not tampered — see Foreign.
 	Tampered int
+	// Foreign counts intact records observed since Open that belong to
+	// another kernel-order family (their key re-derives under their own
+	// stored Kernel salt, not the active one). They are skipped — this
+	// process's kernels cannot reproduce their rounding — but healthy:
+	// a mixed-family fleet sharing one store file reports them here,
+	// not as Tampered, and Compact preserves them on disk.
+	Foreign int
 	// Segments is the number of sealed segments currently backing the
 	// store (0 for single-file and in-memory stores).
 	Segments int
@@ -250,6 +313,9 @@ type Stats struct {
 func (s Stats) String() string {
 	line := fmt.Sprintf("%d entries, %d hits, %d misses, %d flight waits, %d saves, %d skipped, %d tampered, %d superseded, %d tail bytes dropped",
 		s.Entries, s.Hits, s.Misses, s.FlightWaits, s.Saves, s.SkippedRecords, s.Tampered, s.Superseded, s.DroppedTailBytes)
+	if s.Foreign > 0 {
+		line += fmt.Sprintf(", %d foreign-family", s.Foreign)
+	}
 	if s.Segments > 0 || s.Seals > 0 || s.Compactions > 0 {
 		line += fmt.Sprintf(", %d segments (%d seals, %d compactions)", s.Segments, s.Seals, s.Compactions)
 	}
@@ -377,13 +443,26 @@ const (
 	// key does not re-derive from its stored identity (hand-edited
 	// spec, stale version salt), or it carries no result.
 	lineTampered
+	// lineForeign is intact but belongs to ANOTHER kernel-order family:
+	// its key re-derives under the record's own stored Kernel salt, just
+	// not under the active one. Never served by this process (its low
+	// bits encode a rounding order these kernels cannot reproduce), but
+	// not corruption either — Compact carries foreign records through so
+	// a mixed-family fleet sharing one store never loses the other
+	// family's results to a compaction.
+	lineForeign
 )
 
 // decodeLine parses one complete JSONL line and re-derives its key —
 // the acceptance rule shared by Open's replay and Compact's merge. A
-// key mismatch means the record was written under a different code
-// version (stale salt) or its identity was altered after hashing —
-// either way serving it could be a stale result.
+// key mismatch under BOTH the active order-family salt and the
+// record's own declared one means the record was written under a
+// different code version (stale salt) or its identity was altered
+// after hashing — either way serving it could be a stale result. A
+// mismatch that re-derives intact under the record's declared family
+// alone is foreign (see lineForeign); its returned key is the stored
+// one, valid in that family's keyspace and collision-free with ours
+// because the salt differs.
 func decodeLine(line []byte) (rec record, key string, v lineVerdict) {
 	trimmed := strings.TrimSpace(string(line))
 	if trimmed == "" {
@@ -393,7 +472,15 @@ func decodeLine(line []byte) (rec record, key string, v lineVerdict) {
 		return record{}, "", lineMalformed
 	}
 	key, err := rec.deriveKey()
-	if err != nil || key != rec.Key || len(rec.Result) == 0 {
+	if err != nil || len(rec.Result) == 0 {
+		return record{}, "", lineTampered
+	}
+	if key != rec.Key {
+		if rec.Kernel != "" && rec.Kernel != vec.KernelOrder() {
+			if fk, ferr := rec.deriveKeyWith(rec.Kernel); ferr == nil && fk == rec.Key {
+				return rec, rec.Key, lineForeign
+			}
+		}
 		return record{}, "", lineTampered
 	}
 	return rec, key, lineOK
@@ -413,6 +500,10 @@ func (s *Store) indexLine(line []byte, counter *int) {
 	case lineTampered:
 		s.stats.SkippedRecords++
 		s.stats.Tampered++
+		return
+	case lineForeign:
+		s.stats.SkippedRecords++
+		s.stats.Foreign++
 		return
 	}
 	s.index[key] = rec.Result // duplicate keys: last write wins
@@ -479,8 +570,12 @@ func (s *Store) saveRaw(spec scenario.Spec, raw json.RawMessage) error {
 }
 
 // appendRecord writes one validated record to the file (when backed by
-// one) and indexes it.
+// one) and indexes it, stamping the active kernel order family into
+// the record's informational Kernel field.
 func (s *Store) appendRecord(rec record) error {
+	if rec.Kernel == "" {
+		rec.Kernel = vec.KernelOrder()
+	}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("encoding record: %w: %w", err, ErrStore)
