@@ -4,10 +4,11 @@ GO ?= go
 # BENCH_scenario.json: the memoized Bulyan kernel, the concurrent
 # scenario-matrix runner throughput, the blocked/incremental/large-n
 # distance-matrix kernels, the screened Krum selection (prune rate and
-# dot fraction as custom metrics), and the result store's warm-vs-cold
-# grid economics. The BenchmarkDistanceMatrix pattern also matches the
-# Incremental and LargeN variants.
-TRACKED_BENCHES ?= BenchmarkBulyanMemoized|BenchmarkScenarioMatrixRunner|BenchmarkDistanceMatrix|BenchmarkKrumScreened|BenchmarkRunnerWithStore
+# dot fraction as custom metrics), the result store's warm-vs-cold
+# grid economics, and the async incremental-cache win under
+# bounded-staleness arrival traffic. The BenchmarkDistanceMatrix
+# pattern also matches the Incremental and LargeN variants.
+TRACKED_BENCHES ?= BenchmarkBulyanMemoized|BenchmarkScenarioMatrixRunner|BenchmarkDistanceMatrix|BenchmarkKrumScreened|BenchmarkRunnerWithStore|BenchmarkRunIncrementalAsync
 
 # Per-target budget for the fuzz smoke pass (CI keeps it short; crank
 # it up locally for a real hunt).
@@ -51,8 +52,9 @@ race:
 	$(GO) test -race ./...
 
 # shard-tests is the distributed-execution gate: the coordinator +
-# in-process-worker-fleet integration test, the chaos tests (worker
-# killed mid-cell, delayed heartbeats, AND the coordinator itself
+# in-process-worker-fleet integration tests (sync and async-arrival
+# matrices), the chaos tests (worker killed mid-cell, delayed
+# heartbeats — over sync and async cells — AND the coordinator itself
 # killed mid-matrix and recovered from its journal), the journal
 # replay/checkpoint suite, the segmented-store crash-window suite, the
 # single-flight property suite and the Monte-Carlo warm-rerun proofs,
@@ -97,6 +99,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseAttack$$' -fuzztime $(FUZZTIME) ./attack
 	$(GO) test -run '^$$' -fuzz '^FuzzParseSchedule$$' -fuzztime $(FUZZTIME) ./internal/sgd
 	$(GO) test -run '^$$' -fuzz '^FuzzParseWorkload$$' -fuzztime $(FUZZTIME) ./workload
+	$(GO) test -run '^$$' -fuzz '^FuzzParseArrival$$' -fuzztime $(FUZZTIME) ./internal/arrival
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeMessage$$' -fuzztime $(FUZZTIME) ./scenario/shardproto
 
 # bench runs the tracked benchmarks and emits BENCH_scenario.json:

@@ -319,6 +319,63 @@ func BenchmarkDistanceMatrixIncremental(b *testing.B) {
 	}
 }
 
+// BenchmarkRunIncrementalAsync measures the bounded-staleness mode's
+// steady-state economics at the Lemma 4.1 stress point (n = 40,
+// d = 10000): a round stream driven by a bernoulli(p=0.25,tau=8)
+// arrival trace, with each round's distance work done either as a full
+// blocked rebuild or through the cross-round incremental cache (one
+// round-0 build, then UpdateRows over each round's arrival set). Both
+// arms walk the identical proposal history, so the
+// full-rebuild/incremental ns/op ratio is the tracked async cache win
+// (acceptance: ≥ 2× under this traffic).
+func BenchmarkRunIncrementalAsync(b *testing.B) {
+	const n, d, rounds = 40, 10000, 32
+	proc, err := krum.ParseArrival("bernoulli(p=0.25,tau=8)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := proc.NewTrace(benchSeed, n)
+	rng := vec.NewRNG(benchSeed)
+
+	// Proposal history: states[r] holds the full n-vector state after
+	// round r's arrivals installed fresh proposals; unchanged rows share
+	// their backing arrays with the previous round.
+	states := make([][][]float64, rounds)
+	changed := make([][]int, rounds)
+	states[0] = benchVectors(n, d)
+	changed[0] = trace.Next()
+	totalChanged := 0
+	for r := 1; r < rounds; r++ {
+		arrivals := trace.Next()
+		states[r] = make([][]float64, n)
+		copy(states[r], states[r-1])
+		for _, i := range arrivals {
+			states[r][i] = rng.NewNormal(d, 0, 1)
+		}
+		changed[r] = arrivals
+		totalChanged += len(arrivals)
+	}
+	frac := float64(totalChanged) / float64((rounds-1)*n)
+
+	b.Run("full-rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < rounds; r++ {
+				vec.NewDistanceMatrix(states[r])
+			}
+		}
+		b.ReportMetric(frac, "changed-frac")
+	})
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := vec.NewDistanceMatrix(states[0])
+			for r := 1; r < rounds; r++ {
+				m.UpdateRows(changed[r], states[r])
+			}
+		}
+		b.ReportMetric(frac, "changed-frac")
+	})
+}
+
 // BenchmarkScenarioMatrixRunner measures scenario-matrix throughput on
 // the concurrent runner — cells/sec over a 12-cell (rules × attacks ×
 // seeds) grid of short training runs. This is the tracked metric for

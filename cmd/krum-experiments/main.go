@@ -6,7 +6,7 @@
 //	krum-experiments -exp fig4 -scale full -seed 7
 //
 // Experiments: lemma31, fig2, lemma41, prop42, prop43, fig4, fig5,
-// fig6, fig7, table1, ablation, noniid, all.
+// fig6, fig7, table1, ablation, noniid, staleness, all.
 //
 // A JSON config file can drive the same experiments plus an arbitrary
 // scenario matrix (rules × attacks × f-values × seeds, every axis a
@@ -17,7 +17,7 @@
 // Config schema: {"experiments": ["table1"], "scale": "quick",
 // "seed": 42, "workers": 4, "store": "cells.jsonl", "matrix": {...}} —
 // the matrix object is a scenario.Matrix; run with -list to see every
-// registered rule, attack, schedule and workload spec.
+// registered rule, attack, schedule, workload and arrival spec.
 //
 // With -store (or the "store" config key) every scenario cell — the
 // figure-experiment grids and config matrices — is checked against a
@@ -74,6 +74,7 @@ func experiments() []experiment {
 		{name: "table1", desc: "T1: Byzantine-selection rate matrix", run: wrap(harness.RunTable1)},
 		{name: "ablation", desc: "E6: hidden-coordinate attack, Krum vs Bulyan", run: wrap(harness.RunAblation)},
 		{name: "noniid", desc: "E7: label-skewed honest workers (i.i.d. assumption violated)", run: wrap(harness.RunNonIID)},
+		{name: "staleness", desc: "E8: bounded-staleness asynchronous arrivals sweep (Kardam-style)", run: wrap(harness.RunStaleness)},
 	}
 }
 
@@ -124,6 +125,7 @@ func run() int {
 		fmt.Printf("  attacks:   %s\n", attack.Usage())
 		fmt.Printf("  schedules: %s\n", krum.ScheduleUsage())
 		fmt.Printf("  workloads: %s\n", workload.Usage())
+		fmt.Printf("  arrivals:  %s\n", krum.ArrivalUsage())
 		return 0
 	}
 

@@ -90,7 +90,28 @@ func waitWorkerGone(t *testing.T, ts *httptest.Server, workerID string) {
 // exactly once, and the final results must be byte-identical to a
 // direct scenario.Runner run.
 func TestChaosWorkerDeathAndDelayedHeartbeat(t *testing.T) {
+	runChaos(t, chaosMatrix())
+}
+
+// TestChaosWorkerDeathAndDelayedHeartbeatAsync repeats the chaos
+// scenario over asynchronous incremental cells: a reassigned async
+// cell replays its arrival trace from the spec seed, so lease expiry
+// and requeueing must still reproduce the direct run byte for byte.
+// Fewer seeds than the sync variant keep the doubled suite's -race
+// runtime bounded.
+func TestChaosWorkerDeathAndDelayedHeartbeatAsync(t *testing.T) {
 	m := chaosMatrix()
+	m.Base.Arrival = "bernoulli(p=0.5,tau=4)"
+	m.Base.Incremental = true
+	m.Seeds = m.Seeds[:4]
+	runChaos(t, m)
+}
+
+// runChaos runs the kill-one-delay-one chaos scenario over m and
+// asserts completion, exactly-once storage, byte-identity with a
+// direct run, and the expired worker's 410 → rejoin recovery.
+func runChaos(t *testing.T, m scenario.Matrix) {
+	t.Helper()
 	direct, err := (&scenario.Runner{Workers: 4}).Run(m)
 	if err != nil {
 		t.Fatal(err)

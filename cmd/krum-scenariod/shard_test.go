@@ -192,6 +192,61 @@ func TestShardEndToEndByteIdentical(t *testing.T) {
 	}
 }
 
+// asyncShardMatrix is a compact asynchronous grid: incremental cells
+// swept across the arrival axis, quick enough to run three topologies
+// back to back under the race detector.
+func asyncShardMatrix() scenario.Matrix {
+	return scenario.Matrix{
+		Base: scenario.Spec{
+			Workload:    "gmm(k=3,dim=6,radius=4,sigma=0.5)",
+			Attack:      "gaussian(sigma=200)",
+			Schedule:    "inverset(gamma=0.5,power=0.75,t0=50)",
+			N:           9,
+			F:           2,
+			Rounds:      30,
+			BatchSize:   8,
+			Seed:        11,
+			EvalEvery:   10,
+			EvalBatch:   128,
+			Incremental: true,
+		},
+		Rules:    []string{"krum", "average"},
+		Arrivals: []string{"sync", "bounded(tau=2)", "bernoulli(p=0.5,tau=4)"},
+	}
+}
+
+// TestShardAsyncMatrixByteIdentical extends the byte-identity contract
+// to asynchronous cells: an arrivals-swept incremental matrix produces
+// identical results on a direct run, a 3-worker fleet and a 1-worker
+// fleet. The arrival trace is a pure function of the cell spec, so
+// WHERE an async cell runs still never changes WHAT it produces.
+func TestShardAsyncMatrixByteIdentical(t *testing.T) {
+	m := asyncShardMatrix()
+
+	direct, err := (&scenario.Runner{Workers: 4}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(direct))
+	for i, cr := range direct {
+		want[i] = encodeResult(t, cr.Result)
+	}
+
+	three := runTopology(t, m, 3)
+	one := runTopology(t, m, 1)
+	if len(three) != len(want) || len(one) != len(want) {
+		t.Fatalf("cell counts: direct %d, 3-worker %d, 1-worker %d", len(want), len(three), len(one))
+	}
+	for i := range want {
+		if three[i] != want[i] {
+			t.Errorf("cell %d (%s): 3-worker async result differs from direct run", i, direct[i].Spec.Label())
+		}
+		if one[i] != want[i] {
+			t.Errorf("cell %d (%s): 1-worker async result differs from direct run", i, direct[i].Spec.Label())
+		}
+	}
+}
+
 // TestShardFleetEndpointsRejectHostileInput pins the coordinator's
 // protocol trust boundary at the HTTP layer: malformed fleet messages
 // are 400s, unknown identities are 410s.

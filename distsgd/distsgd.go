@@ -20,6 +20,7 @@ import (
 
 	"krum/attack"
 	"krum/data"
+	"krum/internal/arrival"
 	"krum/internal/core"
 	"krum/internal/sgd"
 	"krum/internal/sim"
@@ -157,6 +158,17 @@ type Config struct {
 	// Incremental (the cached screener repairs only changed rows'
 	// bounds between rounds).
 	Screened bool
+	// ArrivalSpec selects the bounded-staleness asynchronous mode
+	// through the arrival registry (arrival.Parse) — e.g.
+	// "bounded(tau=3)" or "bernoulli(p=0.5,tau=8,damp=0.1)". Each
+	// round only the workers elected by the (seed-derived,
+	// deterministic) arrival trace submit fresh proposals; the rest
+	// replay their last submission, Kardam-damped when the spec sets
+	// damp, with lag hard-capped at tau. Empty means the classic
+	// synchronous protocol; "sync" (or any tau=0 spec) runs through
+	// the async machinery but is byte-identical to the synchronous
+	// path — the differential tests in arrival_test.go pin this.
+	ArrivalSpec string
 	// N is the total number of workers; F of them are Byzantine
 	// (0 ≤ F < N).
 	N, F int
@@ -252,6 +264,14 @@ func Run(cfg Config) (*Result, error) {
 		}
 		cfg.Schedule = sched
 	}
+	var arrivalProc arrival.Process
+	if cfg.ArrivalSpec != "" {
+		p, err := arrival.Parse(cfg.ArrivalSpec)
+		if err != nil {
+			return nil, fmt.Errorf("arrival spec %q: %w", cfg.ArrivalSpec, err)
+		}
+		arrivalProc = p
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -308,6 +328,14 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Screened {
 		engine.EnableScreening()
 	}
+	// The async state is seeded from cfg.Seed directly (not from a
+	// rootRNG draw), so enabling an arrival process never shifts the
+	// pool/eval/attack RNG streams — load-bearing for the sync≡async
+	// differential and for trace replay in tests.
+	var async *asyncState
+	if arrivalProc != nil {
+		async = newAsyncState(arrivalProc, cfg.Seed, cfg.N, cfg.F, dim)
+	}
 	proposals := make([][]float64, cfg.N)
 	update := vec.GetFloats(dim)
 	defer vec.PutFloats(update)
@@ -325,20 +353,28 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("round %d gradients: %w", t, err)
 		}
-		copy(proposals, correct)
-		if cfg.F > 0 {
-			ctx := &attack.Context{
-				Round:   t,
-				Params:  params,
-				Correct: correct,
-				F:       cfg.F,
-				RNG:     attackRNG,
+		var changed []int
+		if async != nil {
+			changed, err = async.round(t, proposals, correct, atk, params, attackRNG)
+			if err != nil {
+				return nil, fmt.Errorf("round %d: %w", t, err)
 			}
-			byz := atk.Propose(ctx)
-			if len(byz) != cfg.F {
-				return nil, fmt.Errorf("round %d: attack returned %d proposals, want %d: %w", t, len(byz), cfg.F, ErrConfig)
+		} else {
+			copy(proposals, correct)
+			if cfg.F > 0 {
+				ctx := &attack.Context{
+					Round:   t,
+					Params:  params,
+					Correct: correct,
+					F:       cfg.F,
+					RNG:     attackRNG,
+				}
+				byz := atk.Propose(ctx)
+				if len(byz) != cfg.F {
+					return nil, fmt.Errorf("round %d: attack returned %d proposals, want %d: %w", t, len(byz), cfg.F, ErrConfig)
+				}
+				copy(proposals[cfg.N-cfg.F:], byz)
 			}
-			copy(proposals[cfg.N-cfg.F:], byz)
 		}
 
 		stats := RoundStats{Round: t, TrainLoss: trainLoss, LearningRate: opt.CurrentRate()}
@@ -352,6 +388,13 @@ func Run(cfg Config) (*Result, error) {
 		// external knowledge of the change-set can still declare it
 		// via RoundContext.SetChanged.
 		round := engine.Round(proposals)
+		if async != nil {
+			// The arrival trace knows exactly which rows changed, so
+			// declare it instead of letting the cache pay the O(n·d)
+			// self-diff — the honest change-set the property tests
+			// audit through vec.MatrixRowUpdateCount.
+			round.SetChanged(changed)
+		}
 		if cfg.TrackSelection {
 			if sel, ok := cfg.Rule.(core.Selector); ok {
 				indices, err := core.SelectContext(sel, round)

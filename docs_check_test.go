@@ -2,7 +2,8 @@ package krum_test
 
 // Documentation drift guards, run as the blocking `make check-docs`
 // target (and with the ordinary test suite): TestDocsRegistryBuiltins
-// pins that every registered rule/attack/schedule/workload is named in
+// pins that every registered rule/attack/schedule/workload/arrival
+// built-in is named in
 // the user-facing docs AND still round-trips through its parser, so
 // the spec tables in README.md and EXPERIMENTS.md cannot silently rot;
 // TestDocsExportedIdentifiers is a doc-comment lint over the packages
@@ -50,6 +51,10 @@ func minimalSpec(name string) string {
 		return name + "(gamma=0.1)"
 	case "noniid":
 		return "noniid(base=gmm(k=3,dim=4),classes=2)"
+	case "bounded":
+		return "bounded(tau=2)"
+	case "bernoulli":
+		return "bernoulli(tau=4)"
 	default:
 		return name
 	}
@@ -132,6 +137,15 @@ func TestDocsRegistryBuiltins(t *testing.T) {
 				return "", err
 			}
 			return w.Spec, nil
+		})
+	}
+	for _, name := range usageNames(krum.ArrivalUsage()) {
+		check("arrival", name, func(spec string) (string, error) {
+			p, err := krum.ParseArrival(spec)
+			if err != nil {
+				return "", err
+			}
+			return p.Name(), nil
 		})
 	}
 }

@@ -1,0 +1,37 @@
+package arrival
+
+import "testing"
+
+// FuzzParseArrival drives the arrival-process parser with arbitrary
+// input, matching the contract of the other four registries: no input
+// may panic, and any accepted spec must round-trip — the constructed
+// process's Name() is itself a valid spec whose reparse yields the
+// same Name.
+func FuzzParseArrival(f *testing.F) {
+	for _, seed := range []string{
+		"sync", "bounded(tau=3)", "bounded(tau=0)",
+		"bounded(tau=3,damp=0.5)", "bernoulli(p=0.5,tau=8)",
+		"bernoulli(tau=4)", "bernoulli(p=0.25,tau=8,damp=0.1)",
+		"SYNC", " bounded ( tau = 2 ) ",
+		"", "bounded", "bounded()", "bounded(tau=-1)", "bounded(tau=x)",
+		"bernoulli(p=0,tau=2)", "bernoulli(p=2,tau=2)", "bernoulli(p=0.5)",
+		"sync(tau=1)", "nosucharrival", "bounded(tau=1,tau=2)",
+		"bounded(tau=1e999)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s) // must not panic, whatever s is
+		if err != nil {
+			return
+		}
+		name := p.Name()
+		back, err := Parse(name)
+		if err != nil {
+			t.Fatalf("accepted spec %q produced Name %q that does not reparse: %v", s, name, err)
+		}
+		if got := back.Name(); got != name {
+			t.Fatalf("Name round-trip unstable for spec %q: %q -> %q", s, name, got)
+		}
+	})
+}

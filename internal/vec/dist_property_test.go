@@ -208,32 +208,36 @@ func TestUpdateRowEquivalence(t *testing.T) {
 // (including overlapping/duplicate indices and odd sizes that exercise
 // the dual-row tile's trailing single row) must land bit-identically
 // on the full rebuild, and the update must leave the stored copies in
-// sync (VectorEqual sees the new content).
+// sync (VectorEqual sees the new content). The second shape's
+// dimension exceeds gramBlock, driving the same change-sets through
+// the depth-first blocked batch path (updateRowsBlocked).
 func TestUpdateRowsEquivalence(t *testing.T) {
 	rng := NewRNG(777)
-	const n, d = 13, 37
-	vs := adversarialVectors(rng, n, d)
-	m := NewDistanceMatrix(vs)
-	shadow := CloneAll(vs)
-	for step := 0; step < 40; step++ {
-		c := rng.Intn(n) + 1
-		changed := make([]int, c)
-		for k := range changed {
-			changed[k] = rng.Intn(n) // duplicates allowed on purpose
-		}
-		for _, i := range changed {
-			shadow[i] = adversarialVectors(rng, 1, d)[0]
-		}
-		m.UpdateRows(changed, shadow)
-		fresh := NewDistanceMatrix(shadow)
-		for a := 0; a < n; a++ {
-			if !m.VectorEqual(a, shadow[a]) {
-				t.Fatalf("step %d: stored vector %d out of sync after UpdateRows", step, a)
+	for _, shape := range []struct{ n, d int }{{13, 37}, {11, gramBlock + 453}} {
+		n, d := shape.n, shape.d
+		vs := adversarialVectors(rng, n, d)
+		m := NewDistanceMatrix(vs)
+		shadow := CloneAll(vs)
+		for step := 0; step < 40; step++ {
+			c := rng.Intn(n) + 1
+			changed := make([]int, c)
+			for k := range changed {
+				changed[k] = rng.Intn(n) // duplicates allowed on purpose
 			}
-			for b := 0; b < n; b++ {
-				if m.At(a, b) != fresh.At(a, b) {
-					t.Fatalf("step %d (changed %v): cell (%d,%d) diverged: %v vs %v",
-						step, changed, a, b, m.At(a, b), fresh.At(a, b))
+			for _, i := range changed {
+				shadow[i] = adversarialVectors(rng, 1, d)[0]
+			}
+			m.UpdateRows(changed, shadow)
+			fresh := NewDistanceMatrix(shadow)
+			for a := 0; a < n; a++ {
+				if !m.VectorEqual(a, shadow[a]) {
+					t.Fatalf("n=%d d=%d step %d: stored vector %d out of sync after UpdateRows", n, d, step, a)
+				}
+				for b := 0; b < n; b++ {
+					if m.At(a, b) != fresh.At(a, b) {
+						t.Fatalf("n=%d d=%d step %d (changed %v): cell (%d,%d) diverged: %v vs %v",
+							n, d, step, changed, a, b, m.At(a, b), fresh.At(a, b))
+					}
 				}
 			}
 		}

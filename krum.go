@@ -91,6 +91,7 @@
 package krum
 
 import (
+	"krum/internal/arrival"
 	"krum/internal/core"
 	"krum/internal/sgd"
 	"krum/internal/vec"
@@ -356,3 +357,44 @@ func ActiveKernelTier() KernelTier { return vec.KernelTier() }
 // results on identical inputs; processes with different ids agree only
 // to norm-relative tolerance.
 func ActiveKernelOrder() string { return vec.KernelOrder() }
+
+// ArrivalProcess is a deterministic arrival process describing which
+// workers submit fresh proposals each round under the bounded-staleness
+// asynchronous mode (distsgd.Config.ArrivalSpec,
+// scenario.Spec.Arrival). See internal/arrival.
+type ArrivalProcess = arrival.Process
+
+// ArrivalTrace is one run's materialized arrival schedule — a stateful
+// per-round iterator minted by ArrivalProcess.NewTrace from the cell
+// seed alone.
+type ArrivalTrace = arrival.Trace
+
+// ArrivalFactory builds an arrival process from a parsed spec; see
+// RegisterArrival.
+type ArrivalFactory = arrival.Factory
+
+// ErrBadArrival is returned for malformed arrival specs and invalid
+// arrival parameters.
+var ErrBadArrival = arrival.ErrBadArrival
+
+// ParseArrival constructs an arrival process from a registry spec
+// string such as "sync", "bounded(tau=3)" or
+// "bernoulli(p=0.5,tau=8,damp=0.1)" — the form accepted by
+// distsgd.Config.ArrivalSpec and scenario files. Every built-in
+// process's Name() is itself a valid spec (round-trips); tau=0 specs
+// canonicalize to "sync".
+func ParseArrival(spec string) (ArrivalProcess, error) { return arrival.Parse(spec) }
+
+// RegisterArrival adds a custom arrival-process factory to the central
+// registry under the given (case-insensitive) name; it panics on
+// duplicates.
+func RegisterArrival(name string, f ArrivalFactory) { arrival.Register(name, f) }
+
+// ArrivalNames returns the sorted names of every registered arrival
+// process.
+func ArrivalNames() []string { return arrival.Names() }
+
+// ArrivalUsage returns a generated one-line summary of every registered
+// arrival process with its parameters — CLI help text is built from
+// this.
+func ArrivalUsage() string { return arrival.Usage() }

@@ -9,9 +9,9 @@ import (
 // Matrix declares a cartesian experiment grid over a base Spec: every
 // non-empty axis replaces the corresponding base field, and Cells
 // expands the full product in a deterministic order (workloads × rules
-// × attacks × f-values × seeds, seeds innermost). An empty axis means
-// "use the base value", so a Matrix with only Rules set sweeps rules
-// with everything else fixed.
+// × attacks × arrivals × f-values × seeds, seeds innermost). An empty
+// axis means "use the base value", so a Matrix with only Rules set
+// sweeps rules with everything else fixed.
 type Matrix struct {
 	// Base supplies every field the axes do not override.
 	Base Spec `json:"base"`
@@ -22,6 +22,13 @@ type Matrix struct {
 	// Attacks optionally sweeps attack registry specs ("" or "none"
 	// means no attack).
 	Attacks []string `json:"attacks,omitempty"`
+	// Arrivals optionally sweeps arrival-process registry specs ("" or
+	// "sync" means synchronous rounds) — the staleness-sweep axis. An
+	// absent axis contributes nothing to seed derivation, so grids
+	// written before the axis existed keep their derived seeds (and
+	// their stored results); a present axis, even a singleton, is a
+	// coordinate like any other.
+	Arrivals []string `json:"arrivals,omitempty"`
 	// Fs optionally sweeps the Byzantine count.
 	Fs []int `json:"fs,omitempty"`
 	// Seeds optionally sweeps replicate seeds. Cells along the other
@@ -39,7 +46,7 @@ type Matrix struct {
 // Size returns the number of cells the matrix expands to.
 func (m Matrix) Size() int {
 	n := 1
-	for _, axis := range []int{len(m.Workloads), len(m.Rules), len(m.Attacks), len(m.Fs), len(m.Seeds)} {
+	for _, axis := range []int{len(m.Workloads), len(m.Rules), len(m.Attacks), len(m.Arrivals), len(m.Fs), len(m.Seeds)} {
 		if axis > 0 {
 			n *= axis
 		}
@@ -49,12 +56,13 @@ func (m Matrix) Size() int {
 
 // Cells expands the cartesian grid. Each cell is the base spec with the
 // axis values substituted, a generated Name, and its derived seed; the
-// order is deterministic: workloads × rules × attacks × fs × seeds with
-// seeds varying fastest.
+// order is deterministic: workloads × rules × attacks × arrivals × fs ×
+// seeds with seeds varying fastest.
 func (m Matrix) Cells() []Spec {
 	workloads := orBase(m.Workloads, m.Base.Workload)
 	rules := orBase(m.Rules, m.Base.Rule)
 	attacks := orBase(m.Attacks, m.Base.Attack)
+	arrivals := orBase(m.Arrivals, m.Base.Arrival)
 	fs := m.Fs
 	if len(fs) == 0 {
 		fs = []int{m.Base.F}
@@ -71,24 +79,37 @@ func (m Matrix) Cells() []Spec {
 				if strings.EqualFold(strings.TrimSpace(atk), "none") {
 					atk = "none"
 				}
-				for ifv, f := range fs {
-					for _, seed := range seeds {
-						cell := m.Base
-						cell.Workload = wl
-						cell.Rule = rule
-						cell.Attack = atk
-						cell.F = f
-						cell.Seed = seed
-						if m.DeriveSeeds {
-							cell.Seed = deriveSeed(seed, iw, ir, ia, ifv)
+				for iarr, arr := range arrivals {
+					for ifv, f := range fs {
+						for _, seed := range seeds {
+							cell := m.Base
+							cell.Workload = wl
+							cell.Rule = rule
+							cell.Attack = atk
+							cell.Arrival = arr
+							cell.F = f
+							cell.Seed = seed
+							if m.DeriveSeeds {
+								// The arrival coordinate joins the hash
+								// only when the axis is declared:
+								// pre-arrival grids must keep deriving
+								// the exact seeds they always did, or
+								// every stored result would silently
+								// miss.
+								if len(m.Arrivals) > 0 {
+									cell.Seed = deriveSeed(seed, iw, ir, ia, iarr, ifv)
+								} else {
+									cell.Seed = deriveSeed(seed, iw, ir, ia, ifv)
+								}
+							}
+							cell.Name = ""
+							label := cell.Label()
+							if m.Base.Name != "" {
+								label = m.Base.Name + ": " + label
+							}
+							cell.Name = label
+							out = append(out, cell)
 						}
-						cell.Name = ""
-						label := cell.Label()
-						if m.Base.Name != "" {
-							label = m.Base.Name + ": " + label
-						}
-						cell.Name = label
-						out = append(out, cell)
 					}
 				}
 			}

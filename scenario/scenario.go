@@ -31,6 +31,7 @@ import (
 
 	"krum/attack"
 	"krum/distsgd"
+	"krum/internal/arrival"
 	"krum/internal/core"
 	"krum/internal/sgd"
 	"krum/workload"
@@ -94,6 +95,15 @@ type Spec struct {
 	// (see distsgd.Config.Screened). Results are bit-identical either
 	// way; the flag prunes distance work at large n.
 	Screened bool `json:"screened,omitempty"`
+	// Arrival is the arrival-process registry spec selecting the
+	// bounded-staleness asynchronous mode (see
+	// distsgd.Config.ArrivalSpec), e.g. "bounded(tau=3)" or
+	// "bernoulli(p=0.5,tau=8)". Empty means synchronous rounds; "sync"
+	// and every tau=0 spec are byte-identical to empty and share its
+	// store key (the store canonicalizes them away), while genuinely
+	// asynchronous specs are part of the cell's identity and can never
+	// alias a synchronous cell.
+	Arrival string `json:"arrival,omitempty"`
 }
 
 // Label returns a compact human-readable cell identity.
@@ -105,14 +115,18 @@ func (s Spec) Label() string {
 	if atk == "" {
 		atk = "none"
 	}
-	parts := make([]string, 0, 5)
+	parts := make([]string, 0, 6)
 	if s.Workload != "" {
 		parts = append(parts, s.Workload)
 	}
 	if s.Rule != "" {
 		parts = append(parts, "rule="+s.Rule)
 	}
-	parts = append(parts, "attack="+atk, fmt.Sprintf("f=%d", s.F), fmt.Sprintf("seed=%d", s.Seed))
+	parts = append(parts, "attack="+atk)
+	if s.Arrival != "" {
+		parts = append(parts, "arrival="+s.Arrival)
+	}
+	parts = append(parts, fmt.Sprintf("f=%d", s.F), fmt.Sprintf("seed=%d", s.Seed))
 	return strings.Join(parts, " ")
 }
 
@@ -151,6 +165,11 @@ func (s Spec) Validate() error {
 	}
 	if _, err := workload.Parse(workload.SpecContext{Seed: s.Seed}, s.Workload); err != nil {
 		return err
+	}
+	if s.Arrival != "" {
+		if _, err := arrival.Parse(s.Arrival); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -200,6 +219,7 @@ func (s Spec) configWith(wl *workload.Workload) distsgd.Config {
 		Parallel:       s.Parallel,
 		Incremental:    s.Incremental,
 		Screened:       s.Screened,
+		ArrivalSpec:    s.Arrival,
 	}
 }
 

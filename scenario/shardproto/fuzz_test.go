@@ -24,6 +24,7 @@ func FuzzDecodeMessage(f *testing.F) {
 		`{"task": {"id": "t1", "spec": {"workload": "gmm(k=3,dim=6)", "rule": "krum", "schedule": "const(gamma=0.1)", "n": 9, "f": 2, "rounds": 8, "batch_size": 8, "seed": 7}}}`,
 		`{"task": {"id": "t2", "spec": {"workload": "gmm(k=3,dim=6)", "rule": "krum", "schedule": "const(gamma=0.1)", "n": 9, "f": 2, "rounds": 8, "batch_size": 8, "seed": 7, "incremental": true, "screened": true}}}`,
 		`{"task": {"id": "t3", "spec": {"workload": "gmm(k=3,dim=6)", "rule": "krum", "schedule": "const(gamma=0.1)", "n": 9, "f": 2, "rounds": 8, "batch_size": 8, "seed": 7, "screened": false}}}`,
+		`{"task": {"id": "t4", "spec": {"workload": "gmm(k=3,dim=6)", "rule": "krum", "schedule": "const(gamma=0.1)", "n": 9, "f": 2, "rounds": 8, "batch_size": 8, "seed": 7, "incremental": true, "arrival": "bounded(tau=3)"}}}`,
 		`{"worker_id": "w1", "token": "c0ffee", "max_tasks": 8}`,
 		`{"worker_id": "w1", "token": "c0ffee", "max_tasks": -1}`,
 		`{"tasks": [{"id": "t1", "spec": {"rule": "krum", "n": 9, "f": 2}}, {"id": "t2", "spec": {"rule": "krum", "n": 9, "f": 2}}]}`,

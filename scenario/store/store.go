@@ -60,6 +60,7 @@ import (
 
 	"krum/attack"
 	"krum/distsgd"
+	"krum/internal/arrival"
 	"krum/internal/core"
 	"krum/internal/sgd"
 	"krum/internal/vec"
@@ -136,6 +137,27 @@ func Canonical(s scenario.Spec) (scenario.Spec, error) {
 	c.Workload, err = canonicalWorkload(s.Workload, s.Seed)
 	if err != nil {
 		return scenario.Spec{}, err
+	}
+	// Arrival canonicalizes through the registry like the other axes,
+	// with one extra collapse: a spec whose canonical form is Sync
+	// ("sync" itself, or any tau=0 spelling) is byte-identical to the
+	// synchronous protocol, so it maps to the empty string — the JSON
+	// field then omits entirely and the key equals the pre-arrival
+	// sync key (stored results stay warm, no Version bump needed).
+	// Genuinely asynchronous specs keep their canonical Name, making
+	// their keys distinct from every synchronous cell by construction.
+	if strings.TrimSpace(s.Arrival) == "" {
+		c.Arrival = ""
+	} else {
+		proc, err := arrival.Parse(s.Arrival)
+		if err != nil {
+			return scenario.Spec{}, err
+		}
+		if name := proc.Name(); name == "sync" {
+			c.Arrival = ""
+		} else {
+			c.Arrival = name
+		}
 	}
 	return c, nil
 }
